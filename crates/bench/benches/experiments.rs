@@ -1,0 +1,88 @@
+//! Criterion benches exercising each figure family end-to-end at reduced
+//! scale: one bench per experiment group, so `cargo bench` regenerates a
+//! miniature of every table/figure and tracks the simulator's wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nssd_core::{
+    run_closed_loop, run_closed_loop_preconditioned, run_trace, Architecture, SsdConfig,
+};
+use nssd_ftl::GcPolicy;
+use nssd_workloads::{PaperWorkload, SyntheticPattern, SyntheticSpec};
+
+fn tiny_io_cfg(arch: Architecture) -> SsdConfig {
+    let mut cfg = SsdConfig::tiny(arch);
+    cfg.gc.policy = GcPolicy::None;
+    cfg
+}
+
+/// Fig 14/15 family: open-loop trace replay per architecture.
+fn bench_fig14_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_trace_replay");
+    group.sample_size(10);
+    for arch in Architecture::all() {
+        let cfg = tiny_io_cfg(arch);
+        let trace = PaperWorkload::Exchange1.generate(300, cfg.logical_bytes() / 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(arch.label()), &arch, |b, _| {
+            b.iter(|| run_trace(cfg, &trace).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+/// Fig 16/17 family: closed-loop synthetic sweep.
+fn bench_fig16_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_closed_loop");
+    group.sample_size(10);
+    for depth in [1usize, 8, 32] {
+        let cfg = tiny_io_cfg(Architecture::PnSsdSplit);
+        let spec = SyntheticSpec {
+            pattern: SyntheticPattern::RandomRead,
+            request_bytes: 4 * 4096,
+            requests: 200,
+            footprint_bytes: cfg.logical_bytes() / 2,
+            seed: 1,
+        };
+        let trace = spec.generate();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| run_closed_loop(cfg, &trace, d).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+/// Fig 18/19/20 family: preconditioned run with GC per policy.
+fn bench_fig19_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_gc_policies");
+    group.sample_size(10);
+    for policy in [GcPolicy::Parallel, GcPolicy::Preemptive, GcPolicy::Spatial] {
+        let mut cfg = SsdConfig::tiny(Architecture::PnSsdSplit);
+        cfg.gc.policy = policy;
+        cfg.gc.victims_per_trigger = 2;
+        let spec = SyntheticSpec {
+            pattern: SyntheticPattern::RandomWrite,
+            request_bytes: 4096,
+            requests: 300,
+            footprint_bytes: cfg.logical_bytes() * 3 / 4,
+            seed: 2,
+        };
+        let trace = spec.generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy}")),
+            &policy,
+            |b, _| {
+                b.iter(|| {
+                    run_closed_loop_preconditioned(cfg, &trace, 8, 0.85, 0.3).expect("run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_fig14_family,
+    bench_fig16_family,
+    bench_fig19_family
+);
+criterion_main!(experiments);

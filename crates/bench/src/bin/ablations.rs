@@ -1,0 +1,17 @@
+//! Runs the ablation studies (design-choice sweeps beyond the paper's
+//! figures), writing a Markdown digest to `ablation_results.md`.
+use std::io::Write;
+
+fn main() {
+    let mut md = String::from("# Ablation results\n\n");
+    for (id, thunk) in nssd_bench::ablations::all_ablations() {
+        eprintln!(">>> running {id}");
+        let exp = thunk();
+        exp.print();
+        md.push_str(&exp.to_markdown());
+    }
+    let path = "ablation_results.md";
+    let mut f = std::fs::File::create(path).expect("create results file");
+    f.write_all(md.as_bytes()).expect("write results");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,18 @@
+//! Runs every experiment in paper order, printing each and writing a
+//! Markdown digest to `experiments_results.md` (consumed by
+//! EXPERIMENTS.md).
+use std::io::Write;
+
+fn main() {
+    let mut md = String::from("# Measured results (all experiments)\n\n");
+    for (id, thunk) in nssd_bench::all() {
+        eprintln!(">>> running {id}");
+        let exp = thunk();
+        exp.print();
+        md.push_str(&exp.to_markdown());
+    }
+    let path = "experiments_results.md";
+    let mut f = std::fs::File::create(path).expect("create results file");
+    f.write_all(md.as_bytes()).expect("write results");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,28 @@
+//! Exports every paper experiment's tables as CSV files under
+//! `results_csv/`, for plotting pipelines. Expensive GC experiments are
+//! included; scale with `NSSD_REQUESTS` / `NSSD_GC_REQUESTS`.
+use std::fs;
+use std::io::Write;
+
+fn main() {
+    let dir = "results_csv";
+    fs::create_dir_all(dir).expect("create results_csv/");
+    for (id, thunk) in nssd_bench::all() {
+        eprintln!(">>> running {id}");
+        let exp = thunk();
+        for (i, (caption, table)) in exp.tables.iter().enumerate() {
+            let suffix = if exp.tables.len() > 1 {
+                format!("_{}", i + 1)
+            } else {
+                String::new()
+            };
+            let path = format!("{dir}/{id}{suffix}.csv");
+            let mut f = fs::File::create(&path).expect("create csv");
+            if !caption.is_empty() {
+                writeln!(f, "# {caption}").expect("write caption");
+            }
+            f.write_all(table.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}

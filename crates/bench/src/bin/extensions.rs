@@ -1,0 +1,17 @@
+//! Runs the extension experiments (§VIII discussion quantified), writing a
+//! Markdown digest to `extension_results.md`.
+use std::io::Write;
+
+fn main() {
+    let mut md = String::from("# Extension results\n\n");
+    for (id, thunk) in nssd_bench::extensions::all_extensions() {
+        eprintln!(">>> running {id}");
+        let exp = thunk();
+        exp.print();
+        md.push_str(&exp.to_markdown());
+    }
+    let path = "extension_results.md";
+    let mut f = std::fs::File::create(path).expect("create results file");
+    f.write_all(md.as_bytes()).expect("write results");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 1 (bandwidth trend survey).
+fn main() {
+    nssd_bench::experiments::fig01_bandwidth_trend().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 3 (channel utilization imbalance).
+fn main() {
+    nssd_bench::experiments::fig03_channel_imbalance().print();
+}

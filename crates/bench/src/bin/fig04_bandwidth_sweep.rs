@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 4 (channel bandwidth sweep).
+fn main() {
+    nssd_bench::experiments::fig04_bandwidth_sweep().print();
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig 6: read-transaction timing on the
+//! conventional vs packetized interface, as ASCII timing diagrams.
+use nssd_flash::FlashTiming;
+use nssd_interconnect::{BusParams, DedicatedBus, PacketBus, TimingDiagram};
+
+fn main() {
+    let base = DedicatedBus::new(BusParams::table2_baseline());
+    let pssd = PacketBus::new(BusParams::table2_pssd());
+    println!("==== Fig 6 — 16KB page read transaction ====");
+    println!("legend: '>' controller drives DQ, '<' chip drives DQ, '.' bus idle (array busy)\n");
+    print!(
+        "{}",
+        TimingDiagram::conventional_read(&base, FlashTiming::ull(), 16 * 1024).render()
+    );
+    println!();
+    print!(
+        "{}",
+        TimingDiagram::packetized_read(&pssd, FlashTiming::ull(), 16 * 1024).render()
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 8 (packet formats and overhead).
+fn main() {
+    nssd_bench::experiments::fig08_packet_overhead().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 14 (normalized I/O latency, no GC).
+fn main() {
+    nssd_bench::experiments::fig14_io_latency_no_gc().print();
+}

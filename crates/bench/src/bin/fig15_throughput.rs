@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 15 (KIOPS comparison).
+fn main() {
+    nssd_bench::experiments::fig15_throughput().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 16 (synthetic sweep, PCWD).
+fn main() {
+    nssd_bench::experiments::fig16_synthetic_pcwd().print();
+}

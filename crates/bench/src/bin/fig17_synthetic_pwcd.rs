@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 17 (synthetic sweep, PWCD).
+fn main() {
+    nssd_bench::experiments::fig17_synthetic_pwcd().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 18 (synthetic I/O under GC).
+fn main() {
+    nssd_bench::gc_experiments::fig18_gc_synthetic().print();
+}

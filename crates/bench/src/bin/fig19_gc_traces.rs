@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 19 (trace I/O under GC policies).
+fn main() {
+    nssd_bench::gc_experiments::fig19_gc_traces().print();
+}

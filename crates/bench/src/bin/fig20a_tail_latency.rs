@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 20a (tail latency, rocksdb-0).
+fn main() {
+    nssd_bench::gc_experiments::fig20a_tail_latency().print();
+}

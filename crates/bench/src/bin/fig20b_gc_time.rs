@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 20b (average GC execution time).
+fn main() {
+    nssd_bench::gc_experiments::fig20b_gc_time().print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (ONFI signal inventory).
+fn main() {
+    nssd_bench::experiments::table1_signals().print();
+}

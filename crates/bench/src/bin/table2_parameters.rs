@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II (simulation parameters).
+fn main() {
+    nssd_bench::experiments::table2_parameters().print();
+}

@@ -1,0 +1,495 @@
+//! System configuration: the six evaluated architectures and every knob of
+//! Table II.
+
+use core::fmt;
+
+use nssd_flash::{FlashTiming, Geometry};
+use nssd_ftl::{AllocPolicy, GcConfig};
+use nssd_host::HostParams;
+use nssd_interconnect::{BusParams, MeshParams};
+use nssd_sim::SimTime;
+
+/// The SSD architectures compared in the evaluation (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Conventional SSD: dedicated-signal 8-bit flash bus.
+    BaseSsd,
+    /// Network-on-SSD with pin-constrained 2-bit mesh links.
+    NoSsdPinConstrained,
+    /// Network-on-SSD with (unrealizable) full 8-bit mesh links.
+    NoSsdUnconstrained,
+    /// Channel-sliced strawman (Fig 9b): packetized 8-bit h-channels plus
+    /// chip-to-chip v-channels, but *no* controller connectivity to the
+    /// v-channels — controller bandwidth is halved relative to pSSD.
+    ChannelSliced,
+    /// Packetized SSD: 16-bit packetized flash bus (§IV).
+    PSsd,
+    /// Packetized network SSD: Omnibus topology, greedy adaptive h/v
+    /// routing (§V).
+    PnSsd,
+    /// pnSSD with page *split* across both paths (§V-C).
+    PnSsdSplit,
+}
+
+impl Architecture {
+    /// The architectures of Table III, in the paper's presentation order.
+    pub fn all() -> [Architecture; 6] {
+        [
+            Architecture::BaseSsd,
+            Architecture::NoSsdPinConstrained,
+            Architecture::NoSsdUnconstrained,
+            Architecture::PSsd,
+            Architecture::PnSsd,
+            Architecture::PnSsdSplit,
+        ]
+    }
+
+    /// Table III plus the Fig 9(b) channel-sliced strawman.
+    pub fn with_strawmen() -> [Architecture; 7] {
+        [
+            Architecture::BaseSsd,
+            Architecture::NoSsdPinConstrained,
+            Architecture::NoSsdUnconstrained,
+            Architecture::ChannelSliced,
+            Architecture::PSsd,
+            Architecture::PnSsd,
+            Architecture::PnSsdSplit,
+        ]
+    }
+
+    /// Table III acronym.
+    pub fn label(self) -> &'static str {
+        match self {
+            Architecture::BaseSsd => "baseSSD",
+            Architecture::NoSsdPinConstrained => "NoSSD (pin-constraint)",
+            Architecture::NoSsdUnconstrained => "NoSSD (no constraint)",
+            Architecture::ChannelSliced => "channel-sliced (Fig 9b)",
+            Architecture::PSsd => "pSSD",
+            Architecture::PnSsd => "pnSSD",
+            Architecture::PnSsdSplit => "pnSSD (+split)",
+        }
+    }
+
+    /// Whether the interface is packetized (everything but baseSSD; NoSSD
+    /// is packet-based by construction).
+    pub fn is_packetized(self) -> bool {
+        !matches!(self, Architecture::BaseSsd)
+    }
+
+    /// Whether the Omnibus v-channels exist.
+    pub fn has_v_channels(self) -> bool {
+        matches!(
+            self,
+            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced
+        )
+    }
+
+    /// Whether the flash channel controllers drive the v-channels (true
+    /// Omnibus; the channel-sliced strawman leaves them chip-only).
+    pub fn controller_drives_v(self) -> bool {
+        matches!(self, Architecture::PnSsd | Architecture::PnSsdSplit)
+    }
+
+    /// Whether pages are split across both paths.
+    pub fn split_enabled(self) -> bool {
+        matches!(self, Architecture::PnSsdSplit)
+    }
+
+    /// Whether the interconnect is the NoSSD mesh.
+    pub fn is_mesh(self) -> bool {
+        matches!(
+            self,
+            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained
+        )
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Traffic classes tagged onto channel utilization recorders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traffic {
+    /// Host read traffic.
+    HostRead,
+    /// Host write traffic.
+    HostWrite,
+    /// Garbage-collection traffic.
+    Gc,
+}
+
+impl Traffic {
+    /// Number of traffic classes.
+    pub const COUNT: usize = 3;
+
+    /// Dense tag index for recorders.
+    pub fn tag(self) -> usize {
+        match self {
+            Traffic::HostRead => 0,
+            Traffic::HostWrite => 1,
+            Traffic::Gc => 2,
+        }
+    }
+}
+
+/// How error correction is provisioned (§VIII "On-die ECC functions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccMode {
+    /// No ECC latency modeled — the paper's main evaluation setting.
+    Ideal,
+    /// Hybrid ECC (Ho et al., TVLSI'16): strong LDPC decode at the
+    /// controller on host reads, a weak on-die check on flash-to-flash
+    /// copies — the §VIII proposal that makes direct copies safe.
+    Hybrid,
+    /// Controller-only ECC: every page must pass through the controller's
+    /// decoder, so pnSSD's direct flash-to-flash copies are *disabled* and
+    /// GC falls back to staging through the controller.
+    ControllerStrict,
+}
+
+impl fmt::Display for EccMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EccMode::Ideal => "ideal",
+            EccMode::Hybrid => "hybrid",
+            EccMode::ControllerStrict => "controller-strict",
+        })
+    }
+}
+
+/// ECC latency provisioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EccConfig {
+    /// Mode (see [`EccMode`]).
+    pub mode: EccMode,
+    /// Controller LDPC decode (or encode) latency per page.
+    pub controller_decode: SimTime,
+    /// On-die weak-check latency per page (Hybrid flash-to-flash copies).
+    pub on_die_check: SimTime,
+}
+
+impl EccConfig {
+    /// The main evaluation setting: no ECC latency.
+    pub const fn ideal() -> Self {
+        EccConfig {
+            mode: EccMode::Ideal,
+            controller_decode: SimTime::from_us(2),
+            on_die_check: SimTime::from_ns(500),
+        }
+    }
+
+    /// Hybrid ECC with typical LDPC/on-die latencies.
+    pub const fn hybrid() -> Self {
+        EccConfig {
+            mode: EccMode::Hybrid,
+            ..EccConfig::ideal()
+        }
+    }
+
+    /// Controller-only ECC (disables direct flash-to-flash copies).
+    pub const fn controller_strict() -> Self {
+        EccConfig {
+            mode: EccMode::ControllerStrict,
+            ..EccConfig::ideal()
+        }
+    }
+}
+
+impl Default for EccConfig {
+    fn default() -> Self {
+        EccConfig::ideal()
+    }
+}
+
+/// Full simulator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_core::{Architecture, SsdConfig};
+///
+/// let cfg = SsdConfig::new(Architecture::PnSsdSplit);
+/// assert_eq!(cfg.geometry.channels, 8);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsdConfig {
+    /// Interconnect architecture.
+    pub architecture: Architecture,
+    /// Flash array geometry.
+    pub geometry: Geometry,
+    /// Flash array timing.
+    pub timing: FlashTiming,
+    /// User-write striping policy.
+    pub alloc_policy: AllocPolicy,
+    /// Overprovisioning ratio.
+    pub op_ratio: f64,
+    /// P/E endurance limit; `None` (default) disables wear-out.
+    pub endurance_limit: Option<u32>,
+    /// Garbage-collection configuration.
+    pub gc: GcConfig,
+    /// Flash channel transfer rate (MT/s); Table II: 1000.
+    pub channel_mts: u64,
+    /// Baseline channel width in bits; Table II: 8 (pSSD widens to 16,
+    /// pnSSD splits into 8+8).
+    pub base_width_bits: u32,
+    /// One control-plane (SoC) message latency for Omnibus handshakes.
+    pub ctrl_msg_latency: SimTime,
+    /// Per-hop router latency of the NoSSD mesh.
+    pub mesh_hop_latency: SimTime,
+    /// Window width for per-channel utilization recording (Fig 3).
+    pub util_window: SimTime,
+    /// ECC provisioning (§VIII).
+    pub ecc: EccConfig,
+    /// Number of FTL cores in the controller's multi-core subsystem
+    /// (Fig 2); each page-level translation/allocation occupies one core
+    /// for [`SsdConfig::ftl_page_latency`].
+    pub ftl_cores: u32,
+    /// FTL compute time per page operation. Zero (the default) models the
+    /// paper's provisioned-out FTL; raise it to study the intro's point
+    /// that FTL compute scales with flash bandwidth.
+    pub ftl_page_latency: SimTime,
+    /// Interconnect energy per byte moved over one bus/channel traversal
+    /// (illustrative constant; only the *ratios* between architectures are
+    /// meaningful).
+    pub pj_per_byte_channel: f64,
+    /// Interconnect energy per byte per mesh hop (link + router), which is
+    /// why the paper rules out multi-hop NoSSD topologies.
+    pub pj_per_byte_hop: f64,
+    /// RNG seed (victim randomization, GC destination choice).
+    pub seed: u64,
+}
+
+impl SsdConfig {
+    /// Default experiment configuration on the capacity-scaled geometry.
+    pub fn new(architecture: Architecture) -> Self {
+        SsdConfig {
+            architecture,
+            geometry: Geometry::scaled(),
+            timing: FlashTiming::ull(),
+            alloc_policy: AllocPolicy::Pcwd,
+            op_ratio: 0.125,
+            endurance_limit: None,
+            gc: GcConfig::evaluation_defaults(),
+            channel_mts: 1000,
+            base_width_bits: 8,
+            ctrl_msg_latency: SimTime::from_ns(100),
+            mesh_hop_latency: SimTime::from_ns(5),
+            util_window: SimTime::from_us(100),
+            ecc: EccConfig::ideal(),
+            ftl_cores: 4,
+            ftl_page_latency: SimTime::ZERO,
+            pj_per_byte_channel: 15.0,
+            pj_per_byte_hop: 18.0,
+            seed: 0x55D,
+        }
+    }
+
+    /// The unscaled Table II configuration (2 TB device; the mapping tables
+    /// alone need gigabytes of host memory — use for spot checks only).
+    pub fn paper_table2(architecture: Architecture) -> Self {
+        SsdConfig {
+            geometry: Geometry::paper_table2(),
+            ..SsdConfig::new(architecture)
+        }
+    }
+
+    /// A further-shrunk geometry for GC experiments where the device must
+    /// be preconditioned to high utilization.
+    pub fn gc_scaled(architecture: Architecture) -> Self {
+        SsdConfig {
+            geometry: Geometry {
+                blocks_per_plane: 16,
+                pages_per_block: 64,
+                ..Geometry::scaled()
+            },
+            ..SsdConfig::new(architecture)
+        }
+    }
+
+    /// A tiny configuration for unit tests. GC is tuned for the tiny
+    /// geometry (early trigger, small victim batches) so reclamation can
+    /// always keep ahead of the 64-block device.
+    pub fn tiny(architecture: Architecture) -> Self {
+        let mut cfg = SsdConfig {
+            geometry: Geometry::tiny(),
+            ..SsdConfig::new(architecture)
+        };
+        cfg.gc.trigger_free_ratio = 0.15;
+        cfg.gc.stop_free_ratio = 0.16;
+        cfg.gc.victims_per_trigger = 2;
+        cfg
+    }
+
+    /// Host-visible logical capacity in bytes.
+    pub fn logical_bytes(&self) -> u64 {
+        let pages = (self.geometry.page_count() as f64 * (1.0 - self.op_ratio)).floor() as u64;
+        pages * self.geometry.page_bytes as u64
+    }
+
+    /// The h-channel bus parameters for this architecture.
+    pub fn h_bus(&self) -> BusParams {
+        match self.architecture {
+            // pSSD doubles the width with the repurposed control pins.
+            Architecture::PSsd => BusParams::new(self.channel_mts, self.base_width_bits * 2),
+            // pnSSD keeps the h-channel at base width and adds v-channels.
+            _ => BusParams::new(self.channel_mts, self.base_width_bits),
+        }
+    }
+
+    /// The v-channel bus parameters (pnSSD variants).
+    pub fn v_bus(&self) -> BusParams {
+        BusParams::new(self.channel_mts, self.base_width_bits)
+    }
+
+    /// The NoSSD mesh parameters for this architecture.
+    pub fn mesh_params(&self) -> MeshParams {
+        let mut p = match self.architecture {
+            Architecture::NoSsdPinConstrained => MeshParams::pin_constrained(),
+            _ => MeshParams::unconstrained(),
+        };
+        p.hop_latency = self.mesh_hop_latency;
+        p
+    }
+
+    /// Aggregate flash-side bandwidth (drives the host-pipe provisioning,
+    /// per the paper's methodology).
+    pub fn total_flash_bps(&self) -> u64 {
+        let h = self.h_bus().bytes_per_sec() * self.geometry.channels as u64;
+        if self.architecture.controller_drives_v() {
+            h + self.v_bus().bytes_per_sec() * self.geometry.channels.min(self.geometry.ways) as u64
+        } else if self.architecture.is_mesh() {
+            self.mesh_params().link.bytes_per_sec() * self.geometry.channels as u64
+        } else {
+            h
+        }
+    }
+
+    /// Host-side pipe provisioning for this architecture.
+    pub fn host_params(&self) -> HostParams {
+        HostParams::scaled_to_flash(self.total_flash_bps())
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.geometry.validate().map_err(|e| e.to_string())?;
+        self.gc.validate()?;
+        if !(0.0..0.9).contains(&self.op_ratio) {
+            return Err("op_ratio must be in [0, 0.9)".into());
+        }
+        if self.channel_mts == 0 || self.base_width_bits == 0 {
+            return Err("bus parameters must be nonzero".into());
+        }
+        if self.architecture.has_v_channels() && self.geometry.ways < 2 {
+            return Err("Omnibus needs at least two ways".into());
+        }
+        if self.util_window.is_zero() {
+            return Err("utilization window must be nonzero".into());
+        }
+        if self.ftl_cores == 0 {
+            return Err("ftl_cores must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_predicates() {
+        assert!(!Architecture::BaseSsd.is_packetized());
+        assert!(Architecture::PSsd.is_packetized());
+        assert!(Architecture::PnSsd.has_v_channels());
+        assert!(!Architecture::PSsd.has_v_channels());
+        assert!(Architecture::PnSsdSplit.split_enabled());
+        assert!(Architecture::NoSsdPinConstrained.is_mesh());
+        assert_eq!(Architecture::all().len(), 6);
+    }
+
+    #[test]
+    fn pssd_widens_h_bus() {
+        let base = SsdConfig::new(Architecture::BaseSsd);
+        let pssd = SsdConfig::new(Architecture::PSsd);
+        assert_eq!(base.h_bus().width_bits, 8);
+        assert_eq!(pssd.h_bus().width_bits, 16);
+    }
+
+    #[test]
+    fn total_flash_bandwidth_per_arch() {
+        // base: 8 × 1 GB/s.
+        assert_eq!(
+            SsdConfig::new(Architecture::BaseSsd).total_flash_bps(),
+            8_000_000_000
+        );
+        // pSSD: 8 × 2 GB/s.
+        assert_eq!(
+            SsdConfig::new(Architecture::PSsd).total_flash_bps(),
+            16_000_000_000
+        );
+        // pnSSD: 8 × 1 + 8 × 1 GB/s (same controller pin budget as pSSD).
+        assert_eq!(
+            SsdConfig::new(Architecture::PnSsd).total_flash_bps(),
+            16_000_000_000
+        );
+        // NoSSD pin-constrained: 8 edge columns × 0.25 GB/s.
+        assert_eq!(
+            SsdConfig::new(Architecture::NoSsdPinConstrained).total_flash_bps(),
+            2_000_000_000
+        );
+    }
+
+    #[test]
+    fn host_pipes_track_flash_bandwidth() {
+        let pssd = SsdConfig::new(Architecture::PSsd);
+        assert_eq!(pssd.host_params().pcie_bps, 16_000_000_000);
+        let nossd = SsdConfig::new(Architecture::NoSsdPinConstrained);
+        // Floored at Table II's 8 GB/s.
+        assert_eq!(nossd.host_params().pcie_bps, 8_000_000_000);
+    }
+
+    #[test]
+    fn presets_validate() {
+        for arch in Architecture::all() {
+            SsdConfig::new(arch).validate().unwrap();
+            SsdConfig::gc_scaled(arch).validate().unwrap();
+            SsdConfig::tiny(arch).validate().unwrap();
+            SsdConfig::paper_table2(arch).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SsdConfig::new(Architecture::BaseSsd);
+        c.op_ratio = 0.95;
+        assert!(c.validate().is_err());
+        let mut c = SsdConfig::new(Architecture::BaseSsd);
+        c.channel_mts = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn logical_capacity_respects_op() {
+        let cfg = SsdConfig::new(Architecture::BaseSsd);
+        let physical = cfg.geometry.capacity_bytes();
+        let logical = cfg.logical_bytes();
+        assert!(logical < physical);
+        assert!(logical as f64 > physical as f64 * 0.85);
+    }
+
+    #[test]
+    fn traffic_tags_dense() {
+        assert_eq!(Traffic::HostRead.tag(), 0);
+        assert_eq!(Traffic::HostWrite.tag(), 1);
+        assert_eq!(Traffic::Gc.tag(), 2);
+        assert_eq!(Traffic::COUNT, 3);
+    }
+}

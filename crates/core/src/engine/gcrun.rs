@@ -1,0 +1,576 @@
+//! Garbage-collection execution: PaGC, semi-preemptive GC, and spatial GC.
+//!
+//! GC copies are timed pipelines: source command + tR, a data movement whose
+//! path depends on the architecture (twice over the h-channel through the
+//! controller and DRAM for bus architectures; once over a v-channel directly
+//! chip-to-chip for pnSSD; a direct mesh route for NoSSD), then tPROG at the
+//! destination, and finally the victim erase.
+
+use nssd_flash::{FlashCommand, Pbn, Ppn};
+use nssd_ftl::{FtlError, GcPolicy, Lpn, WayMask};
+use nssd_interconnect::{ControlPacket, DataPacket, MeshEndpoint};
+use nssd_sim::SimTime;
+
+use super::{Event, SsdSim};
+use crate::{Architecture, Traffic};
+
+#[derive(Debug)]
+struct GcCopy {
+    victim: usize,
+    lpn: Lpn,
+    src: Ppn,
+    dst: Option<Ppn>,
+}
+
+#[derive(Debug)]
+struct VictimState {
+    pbn: Pbn,
+    copies_left: u32,
+    /// This victim's slice of the global copies list.
+    range_start: usize,
+    range_end: usize,
+    /// Copies of this victim already handed to `launch_copy`.
+    launched: usize,
+}
+
+/// Runtime state of the garbage collector.
+#[derive(Debug)]
+pub(crate) struct GcRuntime {
+    policy: GcPolicy,
+    active: bool,
+    started_at: SimTime,
+    copies: Vec<GcCopy>,
+    next_copy: usize,
+    outstanding: usize,
+    victims: Vec<VictimState>,
+    victims_left: usize,
+    /// GC-group mask while a spatial epoch is active.
+    gc_mask: Option<WayMask>,
+    /// Do not re-trigger before this time after a starved (victimless)
+    /// trigger.
+    starved_until: SimTime,
+    /// Concurrent copies preemptive GC keeps in flight when allowed.
+    preempt_batch: usize,
+    /// Whether a poll-for-gap pump is already queued (dedup).
+    pump_scheduled: bool,
+    pub(crate) events_completed: u64,
+    pub(crate) total_time: SimTime,
+    pub(crate) pages_copied: u64,
+    pub(crate) blocks_erased: u64,
+    /// Relocations that had to fall back to a wider way mask.
+    pub(crate) dest_fallbacks: u64,
+    /// Relocation attempts deferred for lack of any free block.
+    pub(crate) reloc_retries: u64,
+}
+
+impl GcRuntime {
+    pub(crate) fn new(policy: GcPolicy) -> Self {
+        GcRuntime {
+            policy,
+            active: false,
+            started_at: SimTime::ZERO,
+            copies: Vec::new(),
+            next_copy: 0,
+            outstanding: 0,
+            victims: Vec::new(),
+            victims_left: 0,
+            gc_mask: None,
+            starved_until: SimTime::ZERO,
+            preempt_batch: 4,
+            pump_scheduled: false,
+            events_completed: 0,
+            total_time: SimTime::ZERO,
+            pages_copied: 0,
+            blocks_erased: 0,
+            dest_fallbacks: 0,
+            reloc_retries: 0,
+        }
+    }
+
+    /// Whether a pump event would make progress (preemptive launching).
+    pub(crate) fn wants_pump(&self) -> bool {
+        self.active && self.policy == GcPolicy::Preemptive && self.next_copy < self.copies.len()
+    }
+}
+
+impl SsdSim {
+    /// Checks the trigger watermark and begins a GC event if warranted.
+    pub(crate) fn maybe_start_gc(&mut self) {
+        if self.gc.policy() == GcPolicy::None
+            || self.gc.active
+            || self.now < self.gc.starved_until
+            || !self.ftl.needs_gc()
+        {
+            return;
+        }
+        self.start_gc();
+    }
+
+    fn start_gc(&mut self) {
+        let all = WayMask::all(self.cfg.geometry.ways);
+        let victim_mask = if self.gc.policy() == GcPolicy::Spatial {
+            let (gc_mask, _io_mask) = self.ftl.begin_spatial_epoch();
+            self.gc.gc_mask = Some(gc_mask);
+            gc_mask
+        } else {
+            all
+        };
+        let victims = self.ftl.select_gc_victims(victim_mask, &mut self.rng);
+        if victims.is_empty() {
+            if std::env::var("NSSD_GC_DEBUG").is_ok() {
+                eprintln!("DBG gc starved at {}: free={:.3}", self.now, self.ftl.free_ratio());
+            }
+            if self.gc.policy() == GcPolicy::Spatial {
+                self.ftl.end_spatial_epoch();
+                self.gc.gc_mask = None;
+            }
+            self.gc.starved_until = self.now + SimTime::from_ms(1);
+            return;
+        }
+        self.gc.active = true;
+        self.gc.started_at = self.now;
+        self.gc.copies.clear();
+        self.gc.victims.clear();
+        self.gc.next_copy = 0;
+        self.gc.outstanding = 0;
+
+        for pbn in victims {
+            let live = self.ftl.live_pages(pbn);
+            let victim_idx = self.gc.victims.len();
+            let range_start = self.gc.copies.len();
+            for &(lpn, src) in &live {
+                self.gc.copies.push(GcCopy {
+                    victim: victim_idx,
+                    lpn,
+                    src,
+                    dst: None,
+                });
+            }
+            self.gc.victims.push(VictimState {
+                pbn,
+                copies_left: live.len() as u32,
+                range_start,
+                range_end: self.gc.copies.len(),
+                launched: 0,
+            });
+        }
+        self.gc.victims_left = self.gc.victims.len();
+
+        // Victims that are already fully invalid go straight to erase.
+        for v in 0..self.gc.victims.len() {
+            if self.gc.victims[v].copies_left == 0 {
+                self.schedule_victim_erase(v);
+            }
+        }
+
+        match self.gc.policy() {
+            GcPolicy::Parallel | GcPolicy::Spatial => {
+                // Each victim pipelines its copies — one in flight at a time
+                // per victim (a copyback chain) — so PaGC's concurrency is
+                // the victim count, spread across the device's dies.
+                for v in 0..self.gc.victims.len() {
+                    self.advance_victim(v);
+                }
+            }
+            GcPolicy::Preemptive => self.gc_pump(),
+            GcPolicy::None => unreachable!("GC disabled"),
+        }
+    }
+
+    /// Hands the next queued copy of `victim` to `launch_copy`, if any.
+    fn advance_victim(&mut self, victim: usize) {
+        let v = &mut self.gc.victims[victim];
+        let next = v.range_start + v.launched;
+        if next < v.range_end {
+            v.launched += 1;
+            self.launch_copy(next);
+        }
+    }
+
+    /// Semi-preemptive pacing (Lee et al., ISPASS'11): once triggered, GC
+    /// makes progress in the *gaps* — a copy launches only when its source
+    /// channel is idle right now, so foreground I/O keeps bus priority at
+    /// page-copy granularity. When free space is critically low the yield
+    /// is suspended and GC proceeds unconditionally.
+    pub(crate) fn gc_pump(&mut self) {
+        self.gc.pump_scheduled = false;
+        if !self.gc.active || self.gc.policy() != GcPolicy::Preemptive {
+            // A pump can also race a finished event; re-check the trigger.
+            self.maybe_start_gc();
+            return;
+        }
+        let forced = self.ftl.critically_low();
+        while self.gc.next_copy < self.gc.copies.len()
+            && self.gc.outstanding < self.gc.preempt_batch
+        {
+            let c = self.gc.next_copy;
+            if forced || self.gc_source_idle(c) {
+                self.gc.next_copy += 1;
+                self.launch_copy(c);
+            } else {
+                // Busy right now: poll for the next gap.
+                if !self.gc.pump_scheduled {
+                    self.gc.pump_scheduled = true;
+                    self.queue
+                        .schedule_after(self.now, SimTime::from_us(20), Event::GcPump);
+                }
+                break;
+            }
+        }
+    }
+
+    /// Whether the resources a copy's *source read* needs are free right
+    /// now (the preemption check).
+    fn gc_source_idle(&self, c: usize) -> bool {
+        let src = self.gc.copies[c].src;
+        let addr = self.cfg.geometry.page_addr(src);
+        let chip = self.cfg.geometry.chip_index(addr.channel, addr.way);
+        if !self.chips[chip].plane_idle_at(addr.die, addr.plane, self.now) {
+            return false;
+        }
+        match self.cfg.architecture {
+            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
+                // Mesh: gate on the chip's edge column links being quiet.
+                let cols = self.cfg.geometry.channels as usize;
+                self.mesh_links[addr.channel as usize].is_idle_at(self.now)
+                    && self.mesh_links[cols + addr.channel as usize].is_idle_at(self.now)
+            }
+            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced
+                if self.gc_uses_v_channel() =>
+            {
+                let v = self.v_index(addr.way);
+                self.v_channels[v].is_idle_at(self.now)
+            }
+            _ => self.h_channels[addr.channel as usize].is_idle_at(self.now),
+        }
+    }
+
+    /// The channel a GC command/readout uses on the *source* side.
+    fn gc_uses_v_channel(&self) -> bool {
+        self.gc.policy() == GcPolicy::Spatial && self.cfg.architecture.has_v_channels()
+    }
+
+    fn launch_copy(&mut self, c: usize) {
+        let (lpn, src) = (self.gc.copies[c].lpn, self.gc.copies[c].src);
+        self.gc.outstanding += 1;
+        if self.ftl.lookup(lpn) != Some(src) {
+            // The host overwrote the page after victim selection.
+            self.copy_finished(c);
+            return;
+        }
+        let addr = self.cfg.geometry.page_addr(src);
+        let tag = Traffic::Gc.tag();
+        // Source read command: a few flits; spatial pnSSD keeps even the
+        // command traffic on the v-channel to leave h-channels to I/O.
+        let cmd_end = match self.cfg.architecture {
+            Architecture::BaseSsd => {
+                let dur = self
+                    .ded
+                    .expect("dedicated bus")
+                    .command_phase(FlashCommand::ReadPage);
+                self.h_channels[addr.channel as usize]
+                    .reserve_tagged(self.now, dur, tag)
+                    .end
+            }
+            Architecture::PSsd => {
+                let dur = self
+                    .pkt_h
+                    .expect("packet bus")
+                    .control_packet_time(FlashCommand::ReadPage);
+                self.h_channels[addr.channel as usize]
+                    .reserve_tagged(self.now, dur, tag)
+                    .end
+            }
+            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced => {
+                let dur = self
+                    .pkt_v
+                    .expect("v bus")
+                    .control_packet_time(FlashCommand::ReadPage);
+                if self.gc_uses_v_channel() {
+                    let v = self.v_index(addr.way);
+                    self.v_channels[v].reserve_tagged(self.now, dur, tag).end
+                } else {
+                    self.h_channels[addr.channel as usize]
+                        .reserve_tagged(self.now, dur, tag)
+                        .end
+                }
+            }
+            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
+                let flits = ControlPacket::for_command(FlashCommand::ReadPage).flits();
+                self.reserve_mesh_path(
+                    MeshEndpoint::Controller(addr.channel),
+                    MeshEndpoint::Chip {
+                        row: addr.way,
+                        col: addr.channel,
+                    },
+                    flits,
+                    self.now,
+                    tag,
+                )
+            }
+        };
+        let chip = self.chip_index(addr);
+        let read = self.chips[chip].reserve_read(addr.die, addr.plane, cmd_end);
+        self.queue.schedule(read.end, Event::GcCopyReadDone(c));
+    }
+
+    /// Destination way mask for one copy, per policy/architecture:
+    /// spatial GC confines destinations to the source's column group
+    /// (§VI-A), others roam freely.
+    fn gc_dest_mask(&self, src_way: u32) -> WayMask {
+        if self.gc.policy() != GcPolicy::Spatial {
+            return WayMask::all(self.cfg.geometry.ways);
+        }
+        let gc_mask = self
+            .gc
+            .gc_mask
+            .expect("spatial epoch active during spatial GC");
+        if let Some(omni) = self.omnibus {
+            let group = omni.v_channel_of_way(src_way);
+            let ways: Vec<u32> = gc_mask
+                .ways()
+                .into_iter()
+                .filter(|&w| w < self.cfg.geometry.ways && omni.v_channel_of_way(w) == group)
+                .collect();
+            if ways.is_empty() {
+                gc_mask
+            } else {
+                WayMask::from_ways(ways)
+            }
+        } else {
+            // Bus/mesh architectures: same column only.
+            WayMask::from_ways([src_way])
+        }
+    }
+
+    pub(crate) fn gc_copy_read_done(&mut self, c: usize) {
+        let (lpn, src, victim) = {
+            let copy = &self.gc.copies[c];
+            (copy.lpn, copy.src, copy.victim)
+        };
+        let src_addr = self.cfg.geometry.page_addr(src);
+        // Allocate the destination now, with graceful mask widening.
+        let primary = self.gc_dest_mask(src_addr.way);
+        let mut masks = vec![primary];
+        if let Some(gc_mask) = self.gc.gc_mask {
+            masks.push(gc_mask);
+        }
+        masks.push(WayMask::all(self.cfg.geometry.ways));
+        let mut relocation = None;
+        for (i, mask) in masks.iter().enumerate() {
+            match self.ftl.relocate(lpn, src, *mask) {
+                Ok(Some(rel)) => {
+                    if i > 0 {
+                        self.gc.dest_fallbacks += 1;
+                    }
+                    relocation = Some(rel);
+                    break;
+                }
+                Ok(None) => {
+                    // Host overwrote the page mid-copy; nothing to move.
+                    self.copy_finished(c);
+                    return;
+                }
+                Err(FtlError::OutOfSpace) => continue,
+                Err(e) => panic!("gc relocation failed: {e}"),
+            }
+        }
+        let Some(rel) = relocation else {
+            // Every permitted plane is momentarily out of free blocks; other
+            // victims' erases will free space — retry shortly. (`victim`
+            // keeps the copy's bookkeeping alive until then.)
+            debug_assert!(self.gc.victims[victim].copies_left > 0);
+            self.gc.reloc_retries += 1;
+            assert!(
+                self.gc.reloc_retries < 10_000_000,
+                "gc relocation starved at {}: overprovisioning too small for \
+                 the victim batch size",
+                self.now
+            );
+            self.queue
+                .schedule_after(self.now, SimTime::from_us(50), Event::GcCopyReadDone(c));
+            return;
+        };
+        self.gc.copies[c].dst = Some(rel.dst);
+        let dst_addr = self.cfg.geometry.page_addr(rel.dst);
+        let tag = Traffic::Gc.tag();
+        let page = self.cfg.geometry.page_bytes;
+
+        let xfer_end = match self.cfg.architecture {
+            Architecture::BaseSsd => {
+                let ded = self.ded.expect("dedicated bus");
+                let out = self.h_channels[src_addr.channel as usize].reserve_tagged(
+                    self.now,
+                    ded.data_phase(page as u64),
+                    tag,
+                );
+                let decoded = out.end + self.ecc_gc_staged_delay();
+                let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
+                self.h_channels[dst_addr.channel as usize]
+                    .reserve_tagged(
+                        staged.end,
+                        ded.command_phase(FlashCommand::ProgramPage)
+                            + ded.data_phase(page as u64),
+                        tag,
+                    )
+                    .end
+            }
+            Architecture::PSsd => {
+                let pkt = self.pkt_h.expect("packet bus");
+                let out = self.h_channels[src_addr.channel as usize].reserve_tagged(
+                    self.now,
+                    pkt.read_out_time(page),
+                    tag,
+                );
+                let decoded = out.end + self.ecc_gc_staged_delay();
+                let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
+                self.h_channels[dst_addr.channel as usize]
+                    .reserve_tagged(staged.end, pkt.write_in_time(page), tag)
+                    .end
+            }
+            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced => {
+                let omni = self.omnibus.expect("omnibus");
+                // Controller-strict ECC forbids bypassing the controller's
+                // decoder, disabling direct flash-to-flash movement (§VIII).
+                let f2f = self
+                    .ecc_f2f_delay()
+                    .and_then(|ecc| omni.f2f_v_channel(src_addr.way, dst_addr.way).map(|v| (v, ecc)));
+                match f2f {
+                    Some((v, ecc)) => {
+                        // Direct flash-to-flash over the shared v-channel:
+                        // one traversal instead of two (§V-C).
+                        let msgs = omni.f2f_handshake_messages(
+                            src_addr.channel,
+                            dst_addr.channel,
+                            v,
+                        );
+                        let hs = omni.handshake_time(msgs, self.cfg.ctrl_msg_latency);
+                        let dur = self.pkt_v.expect("v bus").xfer_time(page);
+                        self.v_channels[v as usize]
+                            .reserve_tagged(self.now + hs, dur, tag)
+                            .end
+                            + ecc
+                    }
+                    None => {
+                        // Different column groups: staged through the
+                        // controller over both h-channels.
+                        let pkt = self.pkt_h.expect("h bus");
+                        let out = self.h_channels[src_addr.channel as usize].reserve_tagged(
+                            self.now,
+                            pkt.read_out_time(page),
+                            tag,
+                        );
+                        let decoded = out.end + self.ecc_gc_staged_delay();
+                        let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
+                        self.h_channels[dst_addr.channel as usize]
+                            .reserve_tagged(staged.end, pkt.write_in_time(page), tag)
+                            .end
+                    }
+                }
+            }
+            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
+                // The mesh supports direct chip-to-chip movement.
+                let flits = ControlPacket::for_command(FlashCommand::XferOut).flits()
+                    + DataPacket::new(page).flits();
+                self.reserve_mesh_path(
+                    MeshEndpoint::Chip {
+                        row: src_addr.way,
+                        col: src_addr.channel,
+                    },
+                    MeshEndpoint::Chip {
+                        row: dst_addr.way,
+                        col: dst_addr.channel,
+                    },
+                    flits,
+                    self.now,
+                    tag,
+                )
+            }
+        };
+        self.queue.schedule(xfer_end, Event::GcCopyXferDone(c));
+    }
+
+    pub(crate) fn gc_copy_xfer_done(&mut self, c: usize) {
+        let dst = self.gc.copies[c].dst.expect("destination allocated");
+        let addr = self.cfg.geometry.page_addr(dst);
+        let chip = self.chip_index(addr);
+        let prog = self.chips[chip].reserve_program(addr.die, addr.plane, self.now);
+        self.queue.schedule(prog.end, Event::GcCopyProgDone(c));
+    }
+
+    pub(crate) fn gc_copy_prog_done(&mut self, c: usize) {
+        self.gc.pages_copied += 1;
+        self.copy_finished(c);
+    }
+
+    fn copy_finished(&mut self, c: usize) {
+        self.gc.outstanding -= 1;
+        let victim = self.gc.copies[c].victim;
+        let v = &mut self.gc.victims[victim];
+        debug_assert!(v.copies_left > 0);
+        v.copies_left -= 1;
+        if v.copies_left == 0 {
+            self.schedule_victim_erase(victim);
+        } else if matches!(self.gc.policy(), GcPolicy::Parallel | GcPolicy::Spatial) {
+            self.advance_victim(victim);
+        }
+        if self.gc.wants_pump() {
+            self.queue.schedule(self.now, Event::GcPump);
+        }
+    }
+
+    fn schedule_victim_erase(&mut self, victim: usize) {
+        let pbn = self.gc.victims[victim].pbn;
+        let addr = self.cfg.geometry.block_addr(pbn);
+        // The erase command is a handful of flits; its wire time is
+        // negligible next to the 1 ms array erase, so only the plane is
+        // reserved.
+        let chip = self.cfg.geometry.chip_index(addr.channel, addr.way);
+        let erase = self.chips[chip].reserve_erase(addr.die, addr.plane, self.now);
+        self.queue.schedule(erase.end, Event::GcEraseDone(victim));
+    }
+
+    pub(crate) fn gc_erase_done(&mut self, victim: usize) {
+        let pbn = self.gc.victims[victim].pbn;
+        self.ftl.erase_block(pbn);
+        self.gc.blocks_erased += 1;
+        debug_assert!(self.gc.victims_left > 0);
+        self.gc.victims_left -= 1;
+        if self.gc.victims_left == 0 {
+            self.finish_gc();
+        }
+    }
+
+    fn finish_gc(&mut self) {
+        if std::env::var("NSSD_GC_DEBUG").is_ok() {
+            eprintln!(
+                "DBG gc event done at {}: copied={} erased={} free={:.3} starved_until={}",
+                self.now,
+                self.gc.pages_copied,
+                self.gc.blocks_erased,
+                self.ftl.free_ratio(),
+                self.gc.starved_until
+            );
+        }
+        self.gc.active = false;
+        self.gc.total_time += self.now - self.gc.started_at;
+        self.gc.events_completed += 1;
+        if self.gc.policy() == GcPolicy::Spatial {
+            self.ftl.end_spatial_epoch();
+            self.gc.gc_mask = None;
+        }
+        // Hysteresis: chain events until the stop watermark recovers, so GC
+        // runs in bounded phases with quiet periods in between.
+        if self.now >= self.gc.starved_until
+            && self.ftl.free_ratio() < self.cfg.gc.stop_free_ratio
+        {
+            self.start_gc();
+        }
+    }
+}
+
+impl GcRuntime {
+    fn policy(&self) -> GcPolicy {
+        self.policy
+    }
+}

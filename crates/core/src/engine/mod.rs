@@ -1,0 +1,636 @@
+//! The event-driven SSD simulator.
+//!
+//! One [`SsdSim`] owns every timed resource — h-channels, v-channels, mesh
+//! links, flash planes, host pipes — and advances a deterministic
+//! discrete-event loop over them. I/O transactions are staged so that every
+//! routing decision (the greedy h-vs-v choice, page splitting, preemptive GC
+//! yielding) is made with resource state *at the moment the data is ready*.
+
+mod gcrun;
+mod iopath;
+
+use nssd_flash::{FlashChip, PageAddr, Ppn};
+use nssd_ftl::{Ftl, FtlConfig, FtlError, Lpn};
+use nssd_host::{HostPipes, IoOp, IoRequest};
+use nssd_interconnect::{DedicatedBus, Mesh, MeshParams, Omnibus, PacketBus};
+use nssd_sim::{EventQueue, Histogram, Resource, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    Architecture, ChannelUtilSummary, EccMode, EnergySummary, GcSummary, LatencySummary,
+    SimReport, SsdConfig, Traffic,
+};
+
+pub(crate) use gcrun::GcRuntime;
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A request from the workload arrives (index into the arrival list).
+    Arrive(usize),
+    /// A write request's data has landed in DRAM; issue its page
+    /// transactions.
+    IssuePages(usize),
+    /// Begin a page transaction's first channel phase.
+    StartTrans(usize),
+    /// The flash array finished tR (reads) or tPROG (writes).
+    ArrayDone(usize),
+    /// One path-half of a page data transfer finished.
+    XferHalfDone(usize),
+    /// A page transaction fully completed (including host DMA for reads).
+    PageDone(usize),
+    /// Advance garbage-collection work (preemptive pacing / start checks).
+    GcPump,
+    /// GC copy: source page read into the page register.
+    GcCopyReadDone(usize),
+    /// GC copy: data arrived at the destination chip / controller buffer.
+    GcCopyXferDone(usize),
+    /// GC copy: destination program finished.
+    GcCopyProgDone(usize),
+    /// GC: victim block erase finished.
+    GcEraseDone(usize),
+}
+
+#[derive(Debug)]
+struct ReqState {
+    op: IoOp,
+    submitted: SimTime,
+    pages_total: u32,
+    pages_done: u32,
+}
+
+#[derive(Debug)]
+struct TransState {
+    req: usize,
+    /// Resolved physical target (read: the mapped page; write: the page the
+    /// allocator granted).
+    addr: PageAddr,
+    is_read: bool,
+    halves_left: u8,
+    /// NoSSD only: the controller chosen (greedily) for this transaction.
+    mesh_ctrl: u32,
+}
+
+/// How a workload drives the simulator.
+#[derive(Debug, Clone)]
+pub enum Drive {
+    /// Open loop: requests arrive at their trace timestamps.
+    OpenLoop(Vec<IoRequest>),
+    /// Closed loop: keep `depth` requests outstanding until all issued.
+    ClosedLoop {
+        /// The request list (timestamps ignored).
+        requests: Vec<IoRequest>,
+        /// Target number of concurrently outstanding requests.
+        depth: usize,
+    },
+}
+
+impl Drive {
+    fn requests(&self) -> &[IoRequest] {
+        match self {
+            Drive::OpenLoop(r) => r,
+            Drive::ClosedLoop { requests, .. } => requests,
+        }
+    }
+}
+
+/// The full-system SSD simulator.
+///
+/// Construct with [`SsdSim::new`], optionally precondition via
+/// [`SsdSim::ftl_mut`], then [`SsdSim::run`] a [`Drive`].
+#[derive(Debug)]
+pub struct SsdSim {
+    cfg: SsdConfig,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    pub(crate) ftl: Ftl,
+    pub(crate) chips: Vec<FlashChip>,
+    pub(crate) h_channels: Vec<Resource>,
+    pub(crate) v_channels: Vec<Resource>,
+    pub(crate) mesh_links: Vec<Resource>,
+    /// The controller's FTL cores (Fig 2); contended only when
+    /// `ftl_page_latency` is nonzero.
+    ftl_cores: Vec<Resource>,
+    pub(crate) host: HostPipes,
+    // Interconnect models (populated per architecture).
+    ded: Option<DedicatedBus>,
+    pkt_h: Option<PacketBus>,
+    pkt_v: Option<PacketBus>,
+    mesh: Option<Mesh>,
+    mesh_params: Option<MeshParams>,
+    pub(crate) omnibus: Option<Omnibus>,
+    // Workload.
+    arrivals: Vec<IoRequest>,
+    closed_loop_depth: Option<usize>,
+    next_issue: usize,
+    requests: Vec<ReqState>,
+    trans: Vec<TransState>,
+    /// Write requests whose data is in flight to DRAM (or stalled on free
+    /// space): `(req, first_page, pages, retries)`.
+    pending_write_spans: Vec<(usize, u64, u32, u32)>,
+    pub(crate) inflight_io: usize,
+    // GC.
+    pub(crate) gc: GcRuntime,
+    pub(crate) rng: StdRng,
+    // Statistics.
+    all_lat: Histogram,
+    read_lat: Histogram,
+    write_lat: Histogram,
+    completed: u64,
+    unmapped_reads: u64,
+    host_bytes: u64,
+    first_arrival: SimTime,
+    last_completion: SimTime,
+}
+
+impl SsdSim {
+    /// Builds an idle simulator for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any invalid configuration field.
+    pub fn new(cfg: SsdConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let g = cfg.geometry;
+        let ftl = Ftl::new(FtlConfig {
+            geometry: g,
+            alloc_policy: cfg.alloc_policy,
+            op_ratio: cfg.op_ratio,
+            endurance_limit: cfg.endurance_limit,
+            gc: cfg.gc,
+        })
+        .map_err(|e| e.to_string())?;
+
+        let chips = (0..g.chip_count())
+            .map(|_| FlashChip::new(&g, cfg.timing))
+            .collect();
+        let h_channels = (0..g.channels)
+            .map(|_| Resource::with_recorder(cfg.util_window, Traffic::COUNT))
+            .collect();
+
+        let mut sim = SsdSim {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            ftl,
+            chips,
+            h_channels,
+            v_channels: Vec::new(),
+            mesh_links: Vec::new(),
+            ftl_cores: (0..cfg.ftl_cores).map(|_| Resource::new()).collect(),
+            host: HostPipes::new(cfg.host_params()),
+            ded: None,
+            pkt_h: None,
+            pkt_v: None,
+            mesh: None,
+            mesh_params: None,
+            omnibus: None,
+            arrivals: Vec::new(),
+            closed_loop_depth: None,
+            next_issue: 0,
+            requests: Vec::new(),
+            trans: Vec::new(),
+            pending_write_spans: Vec::new(),
+            inflight_io: 0,
+            gc: GcRuntime::new(cfg.gc.policy),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            all_lat: Histogram::new(),
+            read_lat: Histogram::new(),
+            write_lat: Histogram::new(),
+            completed: 0,
+            unmapped_reads: 0,
+            host_bytes: 0,
+            first_arrival: SimTime::MAX,
+            last_completion: SimTime::ZERO,
+            cfg,
+        };
+
+        match cfg.architecture {
+            Architecture::BaseSsd => {
+                sim.ded = Some(DedicatedBus::new(cfg.h_bus()));
+            }
+            Architecture::PSsd => {
+                sim.pkt_h = Some(PacketBus::new(cfg.h_bus()));
+            }
+            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced => {
+                sim.pkt_h = Some(PacketBus::new(cfg.h_bus()));
+                sim.pkt_v = Some(PacketBus::new(cfg.v_bus()));
+                let omni = Omnibus::new(g.channels, g.ways, g.channels);
+                sim.v_channels = (0..omni.v_channel_count())
+                    .map(|_| Resource::with_recorder(cfg.util_window, Traffic::COUNT))
+                    .collect();
+                sim.omnibus = Some(omni);
+            }
+            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
+                let mesh = Mesh::new(g.ways, g.channels);
+                sim.mesh_links = (0..mesh.link_count())
+                    .map(|_| Resource::with_recorder(cfg.util_window, Traffic::COUNT))
+                    .collect();
+                sim.mesh = Some(mesh);
+                sim.mesh_params = Some(cfg.mesh_params());
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Immutable FTL access (inspection).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Mutable FTL access, for preconditioning before [`SsdSim::run`].
+    pub fn ftl_mut(&mut self) -> &mut Ftl {
+        &mut self.ftl
+    }
+
+    /// Deterministic RNG access (shares the simulator seed).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn page_bytes(&self) -> u32 {
+        self.cfg.geometry.page_bytes
+    }
+
+    /// Occupies the least-loaded FTL core for one page operation's compute
+    /// and returns when it completes (`now` unchanged when the FTL compute
+    /// model is disabled).
+    fn ftl_compute(&mut self, now: SimTime) -> SimTime {
+        let dur = self.cfg.ftl_page_latency;
+        if dur.is_zero() {
+            return now;
+        }
+        let core = self
+            .ftl_cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, c)| (c.next_free(), *i))
+            .map(|(i, _)| i)
+            .expect("at least one FTL core");
+        self.ftl_cores[core].reserve(now, dur).end
+    }
+
+    /// Controller ECC decode added to every host read (§VIII); zero in the
+    /// paper's main (ideal) setting.
+    pub(crate) fn ecc_host_read_delay(&self) -> SimTime {
+        match self.cfg.ecc.mode {
+            EccMode::Ideal => SimTime::ZERO,
+            EccMode::Hybrid | EccMode::ControllerStrict => self.cfg.ecc.controller_decode,
+        }
+    }
+
+    /// ECC cost of staging a GC copy through the controller (decode +
+    /// re-encode).
+    pub(crate) fn ecc_gc_staged_delay(&self) -> SimTime {
+        match self.cfg.ecc.mode {
+            EccMode::Ideal => SimTime::ZERO,
+            EccMode::Hybrid | EccMode::ControllerStrict => self.cfg.ecc.controller_decode * 2,
+        }
+    }
+
+    /// ECC cost of a direct flash-to-flash copy, or `None` when the mode
+    /// forbids bypassing the controller's decoder.
+    pub(crate) fn ecc_f2f_delay(&self) -> Option<SimTime> {
+        match self.cfg.ecc.mode {
+            EccMode::Ideal => Some(SimTime::ZERO),
+            EccMode::Hybrid => Some(self.cfg.ecc.on_die_check),
+            EccMode::ControllerStrict => None,
+        }
+    }
+
+    /// Runs the workload to completion and returns the report.
+    pub fn run(mut self, drive: Drive) -> SimReport {
+        let depth = match &drive {
+            Drive::ClosedLoop { depth, .. } => Some((*depth).max(1)),
+            Drive::OpenLoop(_) => None,
+        };
+        self.closed_loop_depth = depth;
+        self.arrivals = drive.requests().to_vec();
+
+        match depth {
+            Some(d) => {
+                let n = d.min(self.arrivals.len());
+                for i in 0..n {
+                    self.queue.schedule(SimTime::ZERO, Event::Arrive(i));
+                }
+                self.next_issue = n;
+            }
+            None => {
+                for (i, r) in self.arrivals.iter().enumerate() {
+                    self.queue.schedule(r.at, Event::Arrive(i));
+                }
+                self.next_issue = self.arrivals.len();
+            }
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.handle(ev);
+        }
+        self.report()
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Arrive(i) => self.on_arrive(i),
+            Event::IssuePages(req) => self.on_issue_pages(req),
+            Event::StartTrans(t) => self.on_start_trans(t),
+            Event::ArrayDone(t) => self.on_array_done(t),
+            Event::XferHalfDone(t) => self.on_xfer_half_done(t),
+            Event::PageDone(t) => self.on_page_done(t),
+            Event::GcPump => self.gc_pump(),
+            Event::GcCopyReadDone(c) => self.gc_copy_read_done(c),
+            Event::GcCopyXferDone(c) => self.gc_copy_xfer_done(c),
+            Event::GcCopyProgDone(c) => self.gc_copy_prog_done(c),
+            Event::GcEraseDone(v) => self.gc_erase_done(v),
+        }
+    }
+
+    fn on_arrive(&mut self, i: usize) {
+        let r = self.arrivals[i];
+        let at = if self.closed_loop_depth.is_some() {
+            self.now
+        } else {
+            r.at
+        };
+        self.first_arrival = self.first_arrival.min(at);
+        self.host_bytes += r.len as u64;
+        let (first_page, pages) = r.page_span(self.page_bytes());
+        let req_id = self.requests.len();
+        self.requests.push(ReqState {
+            op: r.op,
+            submitted: at,
+            pages_total: pages,
+            pages_done: 0,
+        });
+        self.inflight_io += 1;
+        match r.op {
+            IoOp::Read => {
+                // Command submission cost is negligible; page reads start
+                // immediately and DMA back per page.
+                self.issue_read_pages(req_id, first_page, pages);
+            }
+            IoOp::Write => {
+                // Data moves host → DRAM first, then pages are issued; the
+                // allocator runs at issue time so spatial-GC masks apply.
+                let landed = self
+                    .host
+                    .inbound(at, r.len as u64, Traffic::HostWrite.tag());
+                self.queue.schedule(landed.end, Event::IssuePages(req_id));
+                self.pending_write_spans.push((req_id, first_page, pages, 0));
+            }
+        }
+    }
+
+    fn on_issue_pages(&mut self, req: usize) {
+        const RETRY_DELAY: SimTime = SimTime::from_us(50);
+        const MAX_RETRIES: u32 = 100_000;
+        let idx = self
+            .pending_write_spans
+            .iter()
+            .position(|&(r, _, _, _)| r == req)
+            .expect("write span recorded at arrival");
+        let (_, first_page, pages, retries) = self.pending_write_spans.swap_remove(idx);
+        for p in 0..pages {
+            let lpn = Lpn::new(first_page + p as u64);
+            let ppn = match self.try_allocate(lpn) {
+                Some(ppn) => ppn,
+                None => {
+                    // No free block right now (GC in flight, or the spatial
+                    // I/O group is momentarily full): stall the remaining
+                    // pages and retry — real devices apply exactly this
+                    // backpressure.
+                    assert!(
+                        retries < MAX_RETRIES,
+                        "write stalled for {} at {}: device cannot reclaim space \
+                         (precondition fill too high for the overprovisioning)",
+                        RETRY_DELAY * MAX_RETRIES as u64,
+                        self.now
+                    );
+                    self.pending_write_spans
+                        .push((req, first_page + p as u64, pages - p, retries + 1));
+                    self.queue
+                        .schedule_after(self.now, RETRY_DELAY, Event::IssuePages(req));
+                    self.maybe_start_gc();
+                    // A space-blocked write also forces preemptive GC ahead.
+                    if self.gc.wants_pump() {
+                        self.queue.schedule(self.now, Event::GcPump);
+                    }
+                    return;
+                }
+            };
+            let addr = self.cfg.geometry.page_addr(ppn);
+            let t = self.trans.len();
+            self.trans.push(TransState {
+                req,
+                addr,
+                is_read: false,
+                halves_left: 0,
+                mesh_ctrl: 0,
+            });
+            let ready = self.ftl_compute(self.now);
+            self.queue.schedule(ready, Event::StartTrans(t));
+        }
+        self.maybe_start_gc();
+    }
+
+    fn try_allocate(&mut self, lpn: Lpn) -> Option<Ppn> {
+        // With GC disabled there is no timed reclamation; reclaim instantly
+        // at the watermark (counted in FtlStats) so pure interconnect
+        // studies are not polluted by GC timing — and crucially *before*
+        // free space hits zero, when relocation itself would have no room.
+        if self.cfg.gc.policy == nssd_ftl::GcPolicy::None && self.ftl.needs_gc() {
+            let _ = self.ftl.instant_gc(&mut self.rng);
+        }
+        match self.ftl.write(lpn) {
+            Ok(out) => Some(out.ppn),
+            Err(FtlError::OutOfSpace) => None,
+            Err(e) => panic!("write failed: {e}"),
+        }
+    }
+
+    fn issue_read_pages(&mut self, req: usize, first_page: u64, pages: u32) {
+        for p in 0..pages {
+            let lpn = Lpn::new(first_page + p as u64);
+            match self.ftl.lookup(lpn) {
+                Some(ppn) => {
+                    let addr = self.cfg.geometry.page_addr(ppn);
+                    let t = self.trans.len();
+                    self.trans.push(TransState {
+                        req,
+                        addr,
+                        is_read: true,
+                        halves_left: 0,
+                        mesh_ctrl: 0,
+                    });
+                    let ready = self.ftl_compute(self.now);
+                    self.queue.schedule(ready, Event::StartTrans(t));
+                }
+                None => {
+                    // Never-written page: served from the controller
+                    // (all-zero data), host DMA only.
+                    self.unmapped_reads += 1;
+                    let out = self.host.outbound(
+                        self.now,
+                        self.page_bytes() as u64,
+                        Traffic::HostRead.tag(),
+                    );
+                    let t = self.trans.len();
+                    self.trans.push(TransState {
+                        req,
+                        addr: PageAddr {
+                            channel: 0,
+                            way: 0,
+                            die: 0,
+                            plane: 0,
+                            block: 0,
+                            page: 0,
+                        },
+                        is_read: true,
+                        halves_left: 0,
+                        mesh_ctrl: 0,
+                    });
+                    self.queue.schedule(out.end, Event::PageDone(t));
+                }
+            }
+        }
+    }
+
+    fn on_page_done(&mut self, t: usize) {
+        let req_id = self.trans[t].req;
+        let req = &mut self.requests[req_id];
+        req.pages_done += 1;
+        if req.pages_done == req.pages_total {
+            let lat = self.now - req.submitted;
+            self.all_lat.record(lat);
+            match req.op {
+                IoOp::Read => self.read_lat.record(lat),
+                IoOp::Write => self.write_lat.record(lat),
+            }
+            self.completed += 1;
+            self.last_completion = self.last_completion.max(self.now);
+            self.inflight_io -= 1;
+            // Closed loop: replace the finished request.
+            if self.closed_loop_depth.is_some() && self.next_issue < self.arrivals.len() {
+                let i = self.next_issue;
+                self.next_issue += 1;
+                self.queue.schedule(self.now, Event::Arrive(i));
+            }
+            // Preemptive GC waits for I/O quiescence.
+            if self.gc.wants_pump() {
+                self.queue.schedule(self.now, Event::GcPump);
+            }
+        }
+    }
+
+    fn report(self) -> SimReport {
+        let windows = (self.last_completion.as_ns() / self.cfg.util_window.as_ns() + 1) as usize;
+        let per_channel = |tag: usize| -> Vec<Vec<f64>> {
+            self.h_channels
+                .iter()
+                .map(|c| {
+                    c.recorder()
+                        .map(|r| r.fractions(tag, windows))
+                        .unwrap_or_default()
+                })
+                .collect()
+        };
+        // Mesh architectures report edge-link utilization per column.
+        let per_channel_mesh = |tag: usize| -> Vec<Vec<f64>> {
+            let cols = self.cfg.geometry.channels as usize;
+            (0..cols)
+                .map(|c| {
+                    // inject link c and eject link cols + c.
+                    let mut v = vec![0.0; windows];
+                    for link in [c, cols + c] {
+                        if let Some(r) = self.mesh_links[link].recorder() {
+                            for (w, f) in r.fractions(tag, windows).into_iter().enumerate() {
+                                v[w] += f;
+                            }
+                        }
+                    }
+                    v
+                })
+                .collect()
+        };
+        let util = if self.mesh.is_some() {
+            ChannelUtilSummary {
+                read: per_channel_mesh(Traffic::HostRead.tag()),
+                write: per_channel_mesh(Traffic::HostWrite.tag()),
+                gc: per_channel_mesh(Traffic::Gc.tag()),
+                window: self.cfg.util_window,
+            }
+        } else {
+            ChannelUtilSummary {
+                read: per_channel(Traffic::HostRead.tag()),
+                write: per_channel(Traffic::HostWrite.tag()),
+                gc: per_channel(Traffic::Gc.tag()),
+                window: self.cfg.util_window,
+            }
+        };
+        let pj_to_mj = 1e-9;
+        let bytes_of = |res: &Resource, bps: u64| res.busy_total().as_ns() as f64 * bps as f64 / 1e9;
+        let h_bps = self.cfg.h_bus().bytes_per_sec();
+        let v_bps = self.cfg.v_bus().bytes_per_sec();
+        let energy = EnergySummary {
+            h_channel_mj: self
+                .h_channels
+                .iter()
+                .map(|c| bytes_of(c, h_bps) * self.cfg.pj_per_byte_channel * pj_to_mj)
+                .sum(),
+            v_channel_mj: self
+                .v_channels
+                .iter()
+                .map(|c| bytes_of(c, v_bps) * self.cfg.pj_per_byte_channel * pj_to_mj)
+                .sum(),
+            mesh_mj: {
+                let link_bps = self.cfg.mesh_params().link.bytes_per_sec();
+                self.mesh_links
+                    .iter()
+                    .map(|c| bytes_of(c, link_bps) * self.cfg.pj_per_byte_hop * pj_to_mj)
+                    .sum()
+            },
+            host_bytes: self.host_bytes,
+        };
+        SimReport {
+            architecture: self.cfg.architecture,
+            completed: self.completed,
+            unmapped_reads: self.unmapped_reads,
+            first_arrival: if self.first_arrival == SimTime::MAX {
+                SimTime::ZERO
+            } else {
+                self.first_arrival
+            },
+            last_completion: self.last_completion,
+            all: LatencySummary::from_histogram(&self.all_lat),
+            read: LatencySummary::from_histogram(&self.read_lat),
+            write: LatencySummary::from_histogram(&self.write_lat),
+            gc: GcSummary {
+                events: self.gc.events_completed,
+                total_time: self.gc.total_time,
+                mean_time: if self.gc.events_completed == 0 {
+                    SimTime::ZERO
+                } else {
+                    self.gc.total_time / self.gc.events_completed
+                },
+                pages_copied: self.gc.pages_copied,
+                blocks_erased: self.gc.blocks_erased,
+            },
+            ftl: self.ftl.stats(),
+            wear: self.ftl.blocks().wear_summary(),
+            channel_util: util,
+            energy,
+        }
+    }
+}

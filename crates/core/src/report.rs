@@ -1,0 +1,301 @@
+//! Simulation result reporting.
+
+use core::fmt;
+
+use nssd_ftl::{FtlStats, WearSummary};
+use nssd_sim::{Histogram, RunningStats, SimTime};
+
+use crate::{Architecture, Traffic};
+
+/// Latency distribution summary extracted from a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: SimTime,
+    /// Median.
+    pub p50: SimTime,
+    /// 95th percentile.
+    pub p95: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// 99.9th percentile.
+    pub p999: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        if h.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean: SimTime::ZERO,
+                p50: SimTime::ZERO,
+                p95: SimTime::ZERO,
+                p99: SimTime::ZERO,
+                p999: SimTime::ZERO,
+                max: SimTime::ZERO,
+            };
+        }
+        LatencySummary {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+            p999: h.percentile(99.9),
+            max: h.max(),
+        }
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} p99.9={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.p999, self.max
+        )
+    }
+}
+
+/// Garbage-collection activity summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcSummary {
+    /// GC trigger events completed.
+    pub events: u64,
+    /// Total wall time spent inside GC events.
+    pub total_time: SimTime,
+    /// Mean GC event duration.
+    pub mean_time: SimTime,
+    /// Pages copied by GC.
+    pub pages_copied: u64,
+    /// Blocks erased.
+    pub blocks_erased: u64,
+}
+
+/// Per-channel utilization summary for the imbalance analysis (Fig 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelUtilSummary {
+    /// Busy fraction per `(channel, window)` for read traffic.
+    pub read: Vec<Vec<f64>>,
+    /// Busy fraction per `(channel, window)` for write traffic.
+    pub write: Vec<Vec<f64>>,
+    /// Busy fraction per `(channel, window)` for GC traffic.
+    pub gc: Vec<Vec<f64>>,
+    /// Window width the fractions are binned at.
+    pub window: SimTime,
+}
+
+impl ChannelUtilSummary {
+    /// Coefficient of variation of total busy time across channels for one
+    /// traffic class — the imbalance metric.
+    pub fn imbalance(&self, traffic: Traffic) -> f64 {
+        let per_channel = match traffic {
+            Traffic::HostRead => &self.read,
+            Traffic::HostWrite => &self.write,
+            Traffic::Gc => &self.gc,
+        };
+        let mut stats = RunningStats::new();
+        for ch in per_channel {
+            stats.push(ch.iter().sum::<f64>());
+        }
+        stats.coefficient_of_variation()
+    }
+}
+
+/// Interconnect energy accounting, derived from channel busy time.
+///
+/// Only the ratios between architectures are meaningful: the per-byte
+/// constants are illustrative. The per-hop charging is the paper's
+/// argument against multi-hop NoSSD topologies (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergySummary {
+    /// Energy moved over horizontal channels, millijoules.
+    pub h_channel_mj: f64,
+    /// Energy over vertical channels, millijoules.
+    pub v_channel_mj: f64,
+    /// Energy over mesh links (each hop charged), millijoules.
+    pub mesh_mj: f64,
+    /// Host bytes transferred (reads + writes).
+    pub host_bytes: u64,
+}
+
+impl EnergySummary {
+    /// Total interconnect energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.h_channel_mj + self.v_channel_mj + self.mesh_mj
+    }
+
+    /// Interconnect picojoules spent per host byte served.
+    pub fn pj_per_host_byte(&self) -> f64 {
+        if self.host_bytes == 0 {
+            0.0
+        } else {
+            self.total_mj() * 1e9 / self.host_bytes as f64
+        }
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Architecture simulated.
+    pub architecture: Architecture,
+    /// Requests completed.
+    pub completed: u64,
+    /// Reads that targeted never-written pages (served without flash work;
+    /// nonzero values usually mean the preconditioning missed the trace
+    /// footprint).
+    pub unmapped_reads: u64,
+    /// First request arrival.
+    pub first_arrival: SimTime,
+    /// Last request completion.
+    pub last_completion: SimTime,
+    /// All-request latency.
+    pub all: LatencySummary,
+    /// Read latency.
+    pub read: LatencySummary,
+    /// Write latency.
+    pub write: LatencySummary,
+    /// Garbage-collection summary.
+    pub gc: GcSummary,
+    /// FTL activity counters.
+    pub ftl: FtlStats,
+    /// Per-channel utilization.
+    pub channel_util: ChannelUtilSummary,
+    /// Interconnect energy accounting.
+    pub energy: EnergySummary,
+    /// End-of-run wear statistics (erase counts; spatial GC's epoch swap
+    /// levels the per-way means).
+    pub wear: WearSummary,
+}
+
+impl SimReport {
+    /// Throughput in thousands of I/O operations per second.
+    pub fn kiops(&self) -> f64 {
+        let span = self.last_completion.saturating_sub(self.first_arrival);
+        if span.is_zero() || self.completed == 0 {
+            0.0
+        } else {
+            self.completed as f64 / span.as_secs_f64() / 1000.0
+        }
+    }
+
+    /// Mean-latency performance relative to a baseline run
+    /// (`baseline.mean / self.mean`; > 1 means faster).
+    pub fn speedup_vs(&self, baseline: &SimReport) -> f64 {
+        if self.all.mean.is_zero() {
+            return 0.0;
+        }
+        baseline.all.mean.as_ns() as f64 / self.all.mean.as_ns() as f64
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {} requests", self.architecture, self.completed)?;
+        writeln!(f, "  all   {}", self.all)?;
+        writeln!(f, "  read  {}", self.read)?;
+        writeln!(f, "  write {}", self.write)?;
+        writeln!(f, "  {:.1} KIOPS", self.kiops())?;
+        if self.gc.events > 0 {
+            writeln!(
+                f,
+                "  gc: {} events, mean {}, {} copies, {} erases",
+                self.gc.events, self.gc.mean_time, self.gc.pages_copied, self.gc.blocks_erased
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean_ns: u64) -> LatencySummary {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_ns(mean_ns));
+        LatencySummary::from_histogram(&h)
+    }
+
+    fn report(mean_ns: u64) -> SimReport {
+        SimReport {
+            architecture: Architecture::BaseSsd,
+            completed: 1,
+            unmapped_reads: 0,
+            first_arrival: SimTime::ZERO,
+            last_completion: SimTime::from_ms(1),
+            all: summary(mean_ns),
+            read: summary(mean_ns),
+            write: summary(mean_ns),
+            gc: GcSummary::default(),
+            ftl: Default::default(),
+            channel_util: ChannelUtilSummary {
+                read: vec![vec![0.0]],
+                write: vec![vec![0.0]],
+                gc: vec![vec![0.0]],
+                window: SimTime::from_us(100),
+            },
+            energy: EnergySummary::default(),
+            wear: WearSummary {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                per_way_mean: vec![0.0],
+            },
+        }
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let s = LatencySummary::from_histogram(&Histogram::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, SimTime::ZERO);
+    }
+
+    #[test]
+    fn kiops_computation() {
+        let r = report(1000);
+        // 1 request over 1 ms = 1000 IOPS = 1 KIOPS.
+        assert!((r.kiops() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let fast = report(500);
+        let slow = report(1000);
+        assert!((fast.speedup_vs(&slow) - 2.0).abs() < 1e-9);
+        assert!((slow.speedup_vs(&fast) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_zero_when_uniform() {
+        let util = ChannelUtilSummary {
+            read: vec![vec![0.5, 0.5]; 4],
+            write: vec![vec![0.1]; 4],
+            gc: vec![vec![0.0]; 4],
+            window: SimTime::from_us(100),
+        };
+        assert_eq!(util.imbalance(Traffic::HostRead), 0.0);
+        let skewed = ChannelUtilSummary {
+            read: vec![vec![1.0], vec![0.0], vec![0.0], vec![0.0]],
+            write: vec![vec![0.1]; 4],
+            gc: vec![vec![0.0]; 4],
+            window: SimTime::from_us(100),
+        };
+        assert!(skewed.imbalance(Traffic::HostRead) > 1.0);
+    }
+
+    #[test]
+    fn display_contains_key_metrics() {
+        let s = format!("{}", report(1234));
+        assert!(s.contains("baseSSD"));
+        assert!(s.contains("KIOPS"));
+    }
+}

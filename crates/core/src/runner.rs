@@ -1,0 +1,126 @@
+//! High-level experiment runners.
+
+use nssd_ftl::FtlError;
+use nssd_workloads::Trace;
+
+use crate::{Drive, SimReport, SsdConfig, SsdSim};
+
+/// Runs `trace` open-loop (arrivals at trace timestamps) with the device
+/// preconditioned just enough that every read hits a mapped page, without
+/// fragmenting blocks (the no-GC experiments, Figs 14/15).
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn run_trace(cfg: SsdConfig, trace: &Trace) -> Result<SimReport, String> {
+    let mut sim = SsdSim::new(cfg)?;
+    precondition_footprint(&mut sim, trace)?;
+    Ok(sim.run(Drive::OpenLoop(trace.records().to_vec())))
+}
+
+/// Runs `trace` open-loop on a device preconditioned to `fill` of its
+/// logical space with `overwrite × logical` random overwrites, so garbage
+/// collection triggers naturally during the run (Figs 18–20).
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn run_trace_preconditioned(
+    cfg: SsdConfig,
+    trace: &Trace,
+    fill: f64,
+    overwrite: f64,
+) -> Result<SimReport, String> {
+    let mut sim = SsdSim::new(cfg)?;
+    check_footprint(&sim, trace, fill)?;
+    let mut rng = sim.rng_mut().clone();
+    let max_lpn = (sim.ftl().logical_pages() as f64 * fill) as u64;
+    sim.ftl_mut()
+        .precondition(fill, overwrite, &mut rng)
+        .map_err(|e: FtlError| e.to_string())?;
+    sim.ftl_mut()
+        .pressurize(max_lpn.max(1), &mut rng)
+        .map_err(|e: FtlError| e.to_string())?;
+    Ok(sim.run(Drive::OpenLoop(trace.records().to_vec())))
+}
+
+/// Runs `requests` closed-loop with `depth` outstanding (the synthetic
+/// studies, Figs 16/17, where the x-axis is the number of concurrent I/Os).
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn run_closed_loop(
+    cfg: SsdConfig,
+    requests: &Trace,
+    depth: usize,
+) -> Result<SimReport, String> {
+    let mut sim = SsdSim::new(cfg)?;
+    precondition_footprint(&mut sim, requests)?;
+    Ok(sim.run(Drive::ClosedLoop {
+        requests: requests.records().to_vec(),
+        depth,
+    }))
+}
+
+/// Closed-loop variant with GC preconditioning (Fig 18).
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn run_closed_loop_preconditioned(
+    cfg: SsdConfig,
+    requests: &Trace,
+    depth: usize,
+    fill: f64,
+    overwrite: f64,
+) -> Result<SimReport, String> {
+    let mut sim = SsdSim::new(cfg)?;
+    check_footprint(&sim, requests, fill)?;
+    let mut rng = sim.rng_mut().clone();
+    let max_lpn = (sim.ftl().logical_pages() as f64 * fill) as u64;
+    sim.ftl_mut()
+        .precondition(fill, overwrite, &mut rng)
+        .map_err(|e: FtlError| e.to_string())?;
+    sim.ftl_mut()
+        .pressurize(max_lpn.max(1), &mut rng)
+        .map_err(|e: FtlError| e.to_string())?;
+    Ok(sim.run(Drive::ClosedLoop {
+        requests: requests.records().to_vec(),
+        depth,
+    }))
+}
+
+/// Sequentially maps every page the trace's footprint covers, so reads hit
+/// flash rather than the unmapped-page fast path.
+fn precondition_footprint(sim: &mut SsdSim, trace: &Trace) -> Result<(), String> {
+    let page = sim.config().geometry.page_bytes as u64;
+    let logical = sim.ftl().logical_pages();
+    let footprint_pages = trace.footprint_bytes().div_ceil(page);
+    if footprint_pages > logical {
+        return Err(format!(
+            "trace footprint ({footprint_pages} pages) exceeds logical capacity ({logical})"
+        ));
+    }
+    // One page of headroom so float rounding in `precondition`'s
+    // fraction-to-count conversion can never leave the last page unmapped.
+    let fill = (footprint_pages + 1) as f64 / logical as f64;
+    let mut rng = sim.rng_mut().clone();
+    sim.ftl_mut()
+        .precondition(fill.min(1.0), 0.0, &mut rng)
+        .map_err(|e| e.to_string())
+}
+
+fn check_footprint(sim: &SsdSim, trace: &Trace, fill: f64) -> Result<(), String> {
+    let page = sim.config().geometry.page_bytes as u64;
+    let logical = sim.ftl().logical_pages();
+    let footprint_pages = trace.footprint_bytes().div_ceil(page);
+    let filled = (logical as f64 * fill) as u64;
+    if footprint_pages > filled {
+        return Err(format!(
+            "trace footprint ({footprint_pages} pages) exceeds the preconditioned region \
+             ({filled} pages); shrink the footprint or raise the fill fraction"
+        ));
+    }
+    Ok(())
+}

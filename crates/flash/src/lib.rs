@@ -1,0 +1,101 @@
+//! Flash memory device model for the Networked SSD reproduction.
+//!
+//! This crate models the *device* side of the system:
+//!
+//! * [`Geometry`] — channel/way/die/plane/block/page shape and the packed
+//!   [`Ppn`]/[`Pbn`] address codec used by the FTL.
+//! * [`FlashTiming`] — array latencies (Table II uses ULL flash: 3 µs read,
+//!   50 µs program, 1 ms erase).
+//! * [`FlashCommand`] — the ONFI-style command set plus the packetized
+//!   extensions the paper introduces (*read data transfer*, chip-to-chip
+//!   *xfer*).
+//! * [`FlashChip`] — per-plane timed resources and on-die state.
+//!
+//! ```
+//! use nssd_flash::{FlashChip, FlashTiming, Geometry, PageAddr};
+//! use nssd_sim::SimTime;
+//!
+//! let g = Geometry::scaled();
+//! let addr = PageAddr { channel: 3, way: 1, die: 0, plane: 2, block: 10, page: 4 };
+//! let ppn = g.ppn(addr);
+//! assert_eq!(g.page_addr(ppn), addr);
+//!
+//! let mut chip = FlashChip::new(&g, FlashTiming::ull());
+//! let read = chip.reserve_read(addr.die, addr.plane, SimTime::ZERO);
+//! assert_eq!(read.duration(), SimTime::from_us(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod command;
+mod geometry;
+mod timing;
+
+pub use chip::FlashChip;
+pub use command::FlashCommand;
+pub use geometry::{BlockAddr, Geometry, GeometryError, PageAddr, Pbn, Ppn};
+pub use timing::FlashTiming;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_geometry() -> impl Strategy<Value = Geometry> {
+        (1u32..6, 1u32..6, 1u32..3, 1u32..5, 1u32..20, 1u32..40).prop_map(
+            |(channels, ways, dies, planes, blocks, pages)| Geometry {
+                channels,
+                ways,
+                dies,
+                planes,
+                blocks_per_plane: blocks,
+                pages_per_block: pages,
+                page_bytes: 16 * 1024,
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn ppn_roundtrip(g in arb_geometry(), raw in 0u64..1_000_000) {
+            let raw = raw % g.page_count();
+            let ppn = Ppn::new(raw);
+            let addr = g.page_addr(ppn);
+            prop_assert_eq!(g.ppn(addr), ppn);
+            prop_assert!(addr.channel < g.channels);
+            prop_assert!(addr.way < g.ways);
+            prop_assert!(addr.die < g.dies);
+            prop_assert!(addr.plane < g.planes);
+            prop_assert!(addr.block < g.blocks_per_plane);
+            prop_assert!(addr.page < g.pages_per_block);
+        }
+
+        #[test]
+        fn pbn_roundtrip(g in arb_geometry(), raw in 0u64..1_000_000) {
+            let raw = raw % g.block_count();
+            let pbn = Pbn::new(raw);
+            let addr = g.block_addr(pbn);
+            prop_assert_eq!(g.pbn(addr), pbn);
+        }
+
+        #[test]
+        fn pbn_of_consistent_with_unpack(g in arb_geometry(), raw in 0u64..1_000_000) {
+            let raw = raw % g.page_count();
+            let ppn = Ppn::new(raw);
+            let page = g.page_addr(ppn);
+            let pbn = g.pbn_of(ppn);
+            prop_assert_eq!(g.block_addr(pbn), page.block_addr());
+            prop_assert_eq!(g.ppn_in_block(pbn, page.page), ppn);
+        }
+
+        #[test]
+        fn counts_are_products(g in arb_geometry()) {
+            prop_assert_eq!(g.page_count(), g.block_count() * g.pages_per_block as u64);
+            prop_assert_eq!(g.block_count(), g.plane_count() * g.blocks_per_plane as u64);
+            prop_assert_eq!(g.plane_count(), g.chip_count() * (g.dies * g.planes) as u64);
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+}

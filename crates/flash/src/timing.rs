@@ -1,0 +1,101 @@
+//! Flash array operation timing.
+//!
+//! These are the *array* (cell) latencies — the time between a command being
+//! latched and the die raising ready — independent of how long the bus takes
+//! to move the data. Bus serialization lives in `nssd-interconnect`.
+
+use nssd_sim::SimTime;
+
+/// Array operation latencies for a flash die.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_flash::FlashTiming;
+/// use nssd_sim::SimTime;
+///
+/// let t = FlashTiming::ull();
+/// assert_eq!(t.read, SimTime::from_us(3));
+/// assert_eq!(t.program, SimTime::from_us(50));
+/// assert_eq!(t.erase, SimTime::from_ms(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlashTiming {
+    /// Page read (tR): array to page register.
+    pub read: SimTime,
+    /// Page program (tPROG): page register to array.
+    pub program: SimTime,
+    /// Block erase (tBERS).
+    pub erase: SimTime,
+}
+
+impl FlashTiming {
+    /// Ultra-low-latency flash (Z-NAND class) — the paper's Table II values
+    /// from Cheong et al., ISSCC'18: read 3 µs, program 50 µs, erase 1 ms.
+    pub const fn ull() -> Self {
+        FlashTiming {
+            read: SimTime::from_us(3),
+            program: SimTime::from_us(50),
+            erase: SimTime::from_ms(1),
+        }
+    }
+
+    /// Mainstream TLC 3D NAND, for sensitivity studies: read 50 µs,
+    /// program 700 µs, erase 3.5 ms.
+    pub const fn tlc() -> Self {
+        FlashTiming {
+            read: SimTime::from_us(50),
+            program: SimTime::from_us(700),
+            erase: SimTime::from_us(3500),
+        }
+    }
+
+    /// Fully custom timing.
+    pub const fn new(read: SimTime, program: SimTime, erase: SimTime) -> Self {
+        FlashTiming {
+            read,
+            program,
+            erase,
+        }
+    }
+}
+
+impl Default for FlashTiming {
+    /// The paper's ULL timing.
+    fn default() -> Self {
+        FlashTiming::ull()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ull_matches_table2() {
+        let t = FlashTiming::default();
+        assert_eq!(t.read.as_us_f64(), 3.0);
+        assert_eq!(t.program.as_us_f64(), 50.0);
+        assert_eq!(t.erase.as_ms_f64(), 1.0);
+    }
+
+    #[test]
+    fn tlc_is_slower_than_ull() {
+        let u = FlashTiming::ull();
+        let t = FlashTiming::tlc();
+        assert!(t.read > u.read);
+        assert!(t.program > u.program);
+        assert!(t.erase > u.erase);
+    }
+
+    #[test]
+    fn custom_constructor() {
+        let t = FlashTiming::new(
+            SimTime::from_us(1),
+            SimTime::from_us(2),
+            SimTime::from_us(3),
+        );
+        assert_eq!(t.read, SimTime::from_us(1));
+        assert_eq!(t.erase, SimTime::from_us(3));
+    }
+}

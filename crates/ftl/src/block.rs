@@ -1,0 +1,534 @@
+//! Physical block metadata: valid bitmaps, write pointers, wear state.
+
+use nssd_flash::{Geometry, Pbn, Ppn};
+
+/// Lifecycle state of a physical block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockState {
+    /// Erased; no pages written.
+    Free,
+    /// Partially programmed (the write pointer is mid-block).
+    Open,
+    /// Every page programmed.
+    Full,
+    /// Retired: wore out (endurance limit) or was marked bad; never
+    /// allocated again.
+    Bad,
+}
+
+/// Metadata for one physical block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// Valid-page bitmap, one bit per page.
+    valid: Vec<u64>,
+    valid_count: u32,
+    write_ptr: u32,
+    erase_count: u32,
+    state: BlockState,
+    /// Logical timestamp (device-wide program counter) of the last program
+    /// into this block; the age input to cost-benefit victim selection.
+    last_program: u64,
+}
+
+impl BlockMeta {
+    fn new(pages: u32) -> Self {
+        BlockMeta {
+            valid: vec![0; pages.div_ceil(64) as usize],
+            valid_count: 0,
+            write_ptr: 0,
+            erase_count: 0,
+            state: BlockState::Free,
+            last_program: 0,
+        }
+    }
+
+    /// Number of valid (live) pages.
+    pub fn valid_count(&self) -> u32 {
+        self.valid_count
+    }
+
+    /// Next unwritten page index.
+    pub fn write_ptr(&self) -> u32 {
+        self.write_ptr
+    }
+
+    /// Program/erase cycle count.
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> BlockState {
+        self.state
+    }
+
+    /// Device-wide program-counter value of the last program into this
+    /// block (0 if never programmed since the last erase).
+    pub fn last_program(&self) -> u64 {
+        self.last_program
+    }
+
+    fn is_valid(&self, page: u32) -> bool {
+        self.valid[(page / 64) as usize] & (1 << (page % 64)) != 0
+    }
+
+    fn set_valid(&mut self, page: u32, v: bool) {
+        let w = &mut self.valid[(page / 64) as usize];
+        let bit = 1u64 << (page % 64);
+        if v {
+            debug_assert!(*w & bit == 0);
+            *w |= bit;
+            self.valid_count += 1;
+        } else {
+            debug_assert!(*w & bit != 0);
+            *w &= !bit;
+            self.valid_count -= 1;
+        }
+    }
+}
+
+/// All block metadata for the device, with per-plane free lists.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_flash::Geometry;
+/// use nssd_ftl::BlockTable;
+///
+/// let g = Geometry::tiny();
+/// let t = BlockTable::new(&g);
+/// assert_eq!(t.free_blocks(), g.block_count());
+/// assert!((t.free_ratio() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockTable {
+    geometry: Geometry,
+    blocks: Vec<BlockMeta>,
+    /// Free-block stacks, one per plane (indexed by plane-unit).
+    free: Vec<Vec<u32>>,
+    free_total: u64,
+    /// Device-wide program counter (logical time for block ages).
+    op_clock: u64,
+    /// Blocks retired as bad.
+    retired: u64,
+}
+
+impl BlockTable {
+    /// Creates an all-free block table for `geometry`.
+    pub fn new(geometry: &Geometry) -> Self {
+        let blocks = (0..geometry.block_count())
+            .map(|_| BlockMeta::new(geometry.pages_per_block))
+            .collect();
+        let planes = geometry.plane_count() as usize;
+        let bpp = geometry.blocks_per_plane;
+        // Stack with block 0 on top so allocation order is deterministic.
+        let free = (0..planes)
+            .map(|_| (0..bpp).rev().collect())
+            .collect();
+        BlockTable {
+            geometry: *geometry,
+            blocks,
+            free,
+            free_total: geometry.block_count(),
+            op_clock: 0,
+            retired: 0,
+        }
+    }
+
+    /// The geometry this table describes.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Global plane-unit index of a block: which per-plane free list it
+    /// belongs to.
+    fn plane_unit_of(&self, pbn: Pbn) -> usize {
+        (pbn.raw() / self.geometry.blocks_per_plane as u64) as usize
+    }
+
+    /// Metadata for `pbn`.
+    pub fn meta(&self, pbn: Pbn) -> &BlockMeta {
+        &self.blocks[pbn.raw() as usize]
+    }
+
+    /// Total free (erased, unallocated) blocks.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_total
+    }
+
+    /// Free blocks as a fraction of all blocks.
+    pub fn free_ratio(&self) -> f64 {
+        self.free_total as f64 / self.geometry.block_count() as f64
+    }
+
+    /// Free blocks available in one plane unit.
+    pub fn free_blocks_in_plane(&self, plane_unit: usize) -> usize {
+        self.free[plane_unit].len()
+    }
+
+    /// Pops a free block from `plane_unit`, marking it [`BlockState::Open`].
+    /// Returns `None` if the plane has no free blocks.
+    pub fn take_free_block(&mut self, plane_unit: usize) -> Option<Pbn> {
+        let local = self.free[plane_unit].pop()?;
+        self.free_total -= 1;
+        let pbn = Pbn::new(
+            plane_unit as u64 * self.geometry.blocks_per_plane as u64 + local as u64,
+        );
+        let meta = &mut self.blocks[pbn.raw() as usize];
+        debug_assert_eq!(meta.state, BlockState::Free);
+        meta.state = BlockState::Open;
+        Some(pbn)
+    }
+
+    /// Programs the next page of open block `pbn`, marking it valid.
+    /// Returns the programmed PPN, or `None` if the block is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is [`BlockState::Free`] (not taken first).
+    pub fn program_next_page(&mut self, pbn: Pbn) -> Option<Ppn> {
+        let pages = self.geometry.pages_per_block;
+        let meta = &mut self.blocks[pbn.raw() as usize];
+        assert!(
+            meta.state != BlockState::Free,
+            "programming a free block {pbn} without taking it"
+        );
+        if meta.write_ptr >= pages {
+            return None;
+        }
+        let page = meta.write_ptr;
+        meta.write_ptr += 1;
+        meta.set_valid(page, true);
+        self.op_clock += 1;
+        let clock = self.op_clock;
+        let meta = &mut self.blocks[pbn.raw() as usize];
+        meta.last_program = clock;
+        if meta.write_ptr == pages {
+            meta.state = BlockState::Full;
+        }
+        Some(self.geometry.ppn_in_block(pbn, page))
+    }
+
+    /// Marks `ppn` invalid (its LPN was overwritten or trimmed).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the page was not valid.
+    pub fn invalidate(&mut self, ppn: Ppn) {
+        let pbn = self.geometry.pbn_of(ppn);
+        let page = self.geometry.page_addr(ppn).page;
+        self.blocks[pbn.raw() as usize].set_valid(page, false);
+    }
+
+    /// Whether `ppn` holds live data.
+    pub fn is_valid(&self, ppn: Ppn) -> bool {
+        let pbn = self.geometry.pbn_of(ppn);
+        let page = self.geometry.page_addr(ppn).page;
+        self.blocks[pbn.raw() as usize].is_valid(page)
+    }
+
+    /// The PPNs of all valid pages in `pbn`, in page order.
+    pub fn valid_pages(&self, pbn: Pbn) -> Vec<Ppn> {
+        let meta = &self.blocks[pbn.raw() as usize];
+        (0..meta.write_ptr)
+            .filter(|&p| meta.is_valid(p))
+            .map(|p| self.geometry.ppn_in_block(pbn, p))
+            .collect()
+    }
+
+    /// Erases `pbn`, returning it to its plane's free list — unless its
+    /// erase count reaches `endurance_limit`, in which case the block is
+    /// retired ([`BlockState::Bad`]) and never allocated again. Returns
+    /// whether the block survived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still holds valid pages, is already free, or is
+    /// retired.
+    pub fn erase(&mut self, pbn: Pbn) -> bool {
+        self.erase_with_endurance(pbn, None)
+    }
+
+    /// See [`BlockTable::erase`]; `endurance_limit` of `None` never retires.
+    pub fn erase_with_endurance(&mut self, pbn: Pbn, endurance_limit: Option<u32>) -> bool {
+        let unit = self.plane_unit_of(pbn);
+        let pages = self.geometry.pages_per_block;
+        let meta = &mut self.blocks[pbn.raw() as usize];
+        assert_eq!(
+            meta.valid_count, 0,
+            "erasing block {pbn} with {} valid pages",
+            meta.valid_count
+        );
+        assert!(meta.state != BlockState::Free, "erasing free block {pbn}");
+        assert!(meta.state != BlockState::Bad, "erasing retired block {pbn}");
+        meta.write_ptr = 0;
+        meta.erase_count += 1;
+        meta.last_program = 0;
+        meta.valid = vec![0; pages.div_ceil(64) as usize];
+        if endurance_limit.is_some_and(|limit| meta.erase_count >= limit) {
+            meta.state = BlockState::Bad;
+            self.retired += 1;
+            return false;
+        }
+        meta.state = BlockState::Free;
+        let local = (pbn.raw() % self.geometry.blocks_per_plane as u64) as u32;
+        self.free[unit].push(local);
+        self.free_total += 1;
+        true
+    }
+
+    /// Marks an unallocated (Free) block bad immediately — factory bad
+    /// blocks or grown defects discovered outside GC.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the block is currently [`BlockState::Free`] and still
+    /// in its plane's free list.
+    pub fn mark_bad(&mut self, pbn: Pbn) {
+        let unit = self.plane_unit_of(pbn);
+        let meta = &mut self.blocks[pbn.raw() as usize];
+        assert_eq!(meta.state, BlockState::Free, "can only retire free blocks");
+        meta.state = BlockState::Bad;
+        let local = (pbn.raw() % self.geometry.blocks_per_plane as u64) as u32;
+        let pos = self.free[unit]
+            .iter()
+            .position(|&b| b == local)
+            .expect("free block must be in its plane's free list");
+        self.free[unit].swap_remove(pos);
+        self.free_total -= 1;
+        self.retired += 1;
+    }
+
+    /// Number of retired (bad) blocks.
+    pub fn retired_blocks(&self) -> u64 {
+        self.retired
+    }
+
+    /// Iterates `(Pbn, &BlockMeta)` over all blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (Pbn, &BlockMeta)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (Pbn::new(i as u64), m))
+    }
+
+    /// Sum of valid pages across the device.
+    pub fn total_valid_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| b.valid_count as u64).sum()
+    }
+
+    /// Mean erase count across all blocks (wear indicator).
+    pub fn mean_erase_count(&self) -> f64 {
+        let total: u64 = self.blocks.iter().map(|b| b.erase_count as u64).sum();
+        total as f64 / self.blocks.len() as f64
+    }
+
+    /// The current device-wide program counter.
+    pub fn op_clock(&self) -> u64 {
+        self.op_clock
+    }
+
+    /// Summarizes wear (erase counts) across the device, including per-way
+    /// means — the quantity spatial GC's epoch swap is designed to level
+    /// (§VI-A: "uniformly increase the age of the flash memory").
+    pub fn wear_summary(&self) -> WearSummary {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        let mut sum_sq = 0u64;
+        let mut per_way = vec![(0u64, 0u64); self.geometry.ways as usize];
+        for (pbn, meta) in self.iter() {
+            let e = meta.erase_count();
+            min = min.min(e);
+            max = max.max(e);
+            sum += e as u64;
+            sum_sq += (e as u64) * (e as u64);
+            let way = self.geometry.block_addr(pbn).way as usize;
+            per_way[way].0 += e as u64;
+            per_way[way].1 += 1;
+        }
+        let n = self.blocks.len() as f64;
+        let mean = sum as f64 / n;
+        let var = (sum_sq as f64 / n - mean * mean).max(0.0);
+        WearSummary {
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+            per_way_mean: per_way
+                .into_iter()
+                .map(|(s, c)| if c == 0 { 0.0 } else { s as f64 / c as f64 })
+                .collect(),
+        }
+    }
+}
+
+/// Erase-count (wear) statistics for the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearSummary {
+    /// Lowest erase count of any block.
+    pub min: u32,
+    /// Highest erase count of any block.
+    pub max: u32,
+    /// Mean erase count.
+    pub mean: f64,
+    /// Population standard deviation of erase counts.
+    pub std_dev: f64,
+    /// Mean erase count per way (column) — spatial GC's leveling target.
+    pub per_way_mean: Vec<f64>,
+}
+
+impl WearSummary {
+    /// Max/min ratio of per-way mean wear (1.0 = perfectly leveled).
+    ///
+    /// Ways that have never been erased are ignored; returns 1.0 if fewer
+    /// than two ways have wear.
+    pub fn way_imbalance(&self) -> f64 {
+        let worn: Vec<f64> = self
+            .per_way_mean
+            .iter()
+            .copied()
+            .filter(|&m| m > 0.0)
+            .collect();
+        if worn.len() < 2 {
+            return 1.0;
+        }
+        let max = worn.iter().cloned().fold(f64::MIN, f64::max);
+        let min = worn.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> BlockTable {
+        BlockTable::new(&Geometry::tiny())
+    }
+
+    #[test]
+    fn fresh_table_all_free() {
+        let t = table();
+        let g = Geometry::tiny();
+        assert_eq!(t.free_blocks(), g.block_count());
+        assert_eq!(t.total_valid_pages(), 0);
+    }
+
+    #[test]
+    fn take_program_fill_lifecycle() {
+        let mut t = table();
+        let pbn = t.take_free_block(0).unwrap();
+        assert_eq!(t.meta(pbn).state(), BlockState::Open);
+        let pages = t.geometry().pages_per_block;
+        for i in 0..pages {
+            let ppn = t.program_next_page(pbn).unwrap();
+            assert_eq!(t.geometry().page_addr(ppn).page, i);
+            assert!(t.is_valid(ppn));
+        }
+        assert_eq!(t.meta(pbn).state(), BlockState::Full);
+        assert!(t.program_next_page(pbn).is_none());
+        assert_eq!(t.meta(pbn).valid_count(), pages);
+    }
+
+    #[test]
+    fn invalidate_then_erase_returns_to_free_list() {
+        let mut t = table();
+        let before = t.free_blocks();
+        let pbn = t.take_free_block(3).unwrap();
+        let ppn = t.program_next_page(pbn).unwrap();
+        t.invalidate(ppn);
+        assert_eq!(t.meta(pbn).valid_count(), 0);
+        t.erase(pbn);
+        assert_eq!(t.meta(pbn).state(), BlockState::Free);
+        assert_eq!(t.meta(pbn).erase_count(), 1);
+        assert_eq!(t.free_blocks(), before);
+        // The block can be taken again from the same plane.
+        let again = t.take_free_block(3).unwrap();
+        assert_eq!(again, pbn);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid pages")]
+    fn erase_with_valid_pages_panics() {
+        let mut t = table();
+        let pbn = t.take_free_block(0).unwrap();
+        t.program_next_page(pbn).unwrap();
+        t.erase(pbn);
+    }
+
+    #[test]
+    fn valid_pages_listing_skips_invalidated() {
+        let mut t = table();
+        let pbn = t.take_free_block(0).unwrap();
+        let a = t.program_next_page(pbn).unwrap();
+        let b = t.program_next_page(pbn).unwrap();
+        let c = t.program_next_page(pbn).unwrap();
+        t.invalidate(b);
+        assert_eq!(t.valid_pages(pbn), vec![a, c]);
+    }
+
+    #[test]
+    fn erase_at_endurance_limit_retires() {
+        let mut t = table();
+        let pbn = t.take_free_block(0).unwrap();
+        let ppn = t.program_next_page(pbn).unwrap();
+        t.invalidate(ppn);
+        // Limit 1: the first erase retires the block.
+        assert!(!t.erase_with_endurance(pbn, Some(1)));
+        assert_eq!(t.meta(pbn).state(), BlockState::Bad);
+        assert_eq!(t.retired_blocks(), 1);
+        // The block never returns to its plane's free list.
+        let g = *t.geometry();
+        for _ in 0..g.blocks_per_plane - 1 {
+            let b = t.take_free_block(0).unwrap();
+            assert_ne!(b, pbn);
+        }
+        assert!(t.take_free_block(0).is_none());
+    }
+
+    #[test]
+    fn mark_bad_removes_free_block() {
+        let mut t = table();
+        let before = t.free_blocks();
+        t.mark_bad(Pbn::new(3));
+        assert_eq!(t.free_blocks(), before - 1);
+        assert_eq!(t.meta(Pbn::new(3)).state(), BlockState::Bad);
+        assert_eq!(t.retired_blocks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only retire free blocks")]
+    fn mark_bad_rejects_open_blocks() {
+        let mut t = table();
+        let pbn = t.take_free_block(0).unwrap();
+        t.mark_bad(pbn);
+    }
+
+    #[test]
+    fn free_lists_are_per_plane() {
+        let mut t = table();
+        let g = *t.geometry();
+        let unit0_blocks = g.blocks_per_plane as usize;
+        for _ in 0..unit0_blocks {
+            assert!(t.take_free_block(0).is_some());
+        }
+        assert!(t.take_free_block(0).is_none());
+        assert!(t.take_free_block(1).is_some());
+    }
+
+    #[test]
+    fn plane_unit_mapping_matches_geometry() {
+        let t = table();
+        let g = *t.geometry();
+        for raw in 0..g.block_count() {
+            let pbn = Pbn::new(raw);
+            let addr = g.block_addr(pbn);
+            let expect = ((g.chip_index(addr.channel, addr.way) as u64 * g.dies as u64
+                + addr.die as u64)
+                * g.planes as u64
+                + addr.plane as u64) as usize;
+            assert_eq!(t.plane_unit_of(pbn), expect);
+        }
+    }
+}

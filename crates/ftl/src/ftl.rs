@@ -1,0 +1,718 @@
+//! The flash translation layer facade.
+//!
+//! [`Ftl`] combines the mapping table, block metadata, the user and GC write
+//! allocators (separate streams, so GC relocations do not pollute user open
+//! blocks) and the spatial-GC group state. It is purely *functional* — it
+//! decides placement and bookkeeping; the engine in `nssd-core` attaches
+//! timing to each operation.
+
+use core::fmt;
+
+use nssd_flash::{Geometry, GeometryError, Pbn, Ppn};
+use rand::Rng;
+
+use crate::{
+    select_victims, AllocPolicy, BlockTable, GcConfig, Lpn, MappingTable, OutOfSpace,
+    PageAllocator, SpatialGroups, WayMask,
+};
+
+/// FTL configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtlConfig {
+    /// Flash geometry.
+    pub geometry: Geometry,
+    /// User-write striping policy.
+    pub alloc_policy: AllocPolicy,
+    /// Overprovisioning: fraction of physical pages hidden from the host.
+    pub op_ratio: f64,
+    /// P/E-cycle endurance limit; blocks reaching it are retired as bad.
+    /// `None` (the default) disables wear-out, matching the paper's
+    /// evaluation horizon.
+    pub endurance_limit: Option<u32>,
+    /// Garbage-collection configuration.
+    pub gc: GcConfig,
+}
+
+impl FtlConfig {
+    /// Evaluation defaults on the scaled geometry with 12.5% OP.
+    pub fn evaluation_defaults() -> Self {
+        FtlConfig {
+            geometry: Geometry::scaled(),
+            alloc_policy: AllocPolicy::Pcwd,
+            op_ratio: 0.125,
+            endurance_limit: None,
+            gc: GcConfig::evaluation_defaults(),
+        }
+    }
+
+    /// Validates geometry and ratios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError`] describing the problem.
+    pub fn validate(&self) -> Result<(), FtlError> {
+        self.geometry.validate().map_err(FtlError::Geometry)?;
+        if !(0.0..0.9).contains(&self.op_ratio) {
+            return Err(FtlError::Config("op_ratio must be in [0, 0.9)".into()));
+        }
+        self.gc.validate().map_err(FtlError::Config)?;
+        // The GC reserve must sit below the trigger watermark, or writes
+        // would stall before reclamation ever starts.
+        let reserve = self.gc.victims_per_trigger as u64 + 1;
+        let trigger_blocks =
+            (self.geometry.block_count() as f64 * self.gc.trigger_free_ratio) as u64;
+        if reserve >= trigger_blocks.max(1) {
+            return Err(FtlError::Config(format!(
+                "victims_per_trigger ({}) too large: the GC reserve ({reserve} blocks) \
+                 reaches the trigger watermark ({trigger_blocks} blocks)",
+                self.gc.victims_per_trigger
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        FtlConfig::evaluation_defaults()
+    }
+}
+
+/// Errors from FTL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// Invalid geometry.
+    Geometry(GeometryError),
+    /// Invalid configuration value.
+    Config(String),
+    /// The LPN exceeds the logical capacity.
+    LpnOutOfRange(u64),
+    /// No free block is available within the permitted ways.
+    OutOfSpace,
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::Geometry(e) => write!(f, "invalid geometry: {e}"),
+            FtlError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            FtlError::LpnOutOfRange(l) => write!(f, "lpn{l} exceeds logical capacity"),
+            FtlError::OutOfSpace => f.write_str("no free block in any permitted plane"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtlError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OutOfSpace> for FtlError {
+    fn from(_: OutOfSpace) -> Self {
+        FtlError::OutOfSpace
+    }
+}
+
+/// The result of a user write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Newly programmed physical page.
+    pub ppn: Ppn,
+    /// Previous physical page of the LPN, now invalid (the engine does not
+    /// time invalidations — they are mapping-table updates).
+    pub invalidated: Option<Ppn>,
+}
+
+/// The result of a GC relocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Relocation {
+    /// The logical page moved.
+    pub lpn: Lpn,
+    /// Source physical page (now invalid).
+    pub src: Ppn,
+    /// Destination physical page.
+    pub dst: Ppn,
+}
+
+/// Cumulative FTL activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtlStats {
+    /// Host-issued page writes.
+    pub host_writes: u64,
+    /// GC page relocations.
+    pub gc_relocations: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// Blocks retired at the endurance limit.
+    pub blocks_retired: u64,
+    /// GC trigger events.
+    pub gc_triggers: u64,
+}
+
+impl FtlStats {
+    /// Write amplification factor: (host + GC writes) / host writes.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            1.0
+        } else {
+            (self.host_writes + self.gc_relocations) as f64 / self.host_writes as f64
+        }
+    }
+}
+
+/// The flash translation layer.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_ftl::{Ftl, FtlConfig, Lpn};
+///
+/// let mut ftl = Ftl::new(FtlConfig::evaluation_defaults())?;
+/// let out = ftl.write(Lpn::new(0))?;
+/// assert_eq!(ftl.lookup(Lpn::new(0)), Some(out.ppn));
+/// assert_eq!(out.invalidated, None);
+/// # Ok::<(), nssd_ftl::FtlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ftl {
+    config: FtlConfig,
+    geometry: Geometry,
+    logical_pages: u64,
+    mapping: MappingTable,
+    blocks: BlockTable,
+    user_alloc: PageAllocator,
+    gc_alloc: PageAllocator,
+    groups: SpatialGroups,
+    /// Mask user writes must respect (narrowed during a spatial-GC epoch).
+    write_mask: WayMask,
+    /// Whether a spatial epoch is currently active.
+    spatial_epoch_active: bool,
+    stats: FtlStats,
+}
+
+impl Ftl {
+    /// Creates an FTL over an erased device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError`] if the configuration is invalid.
+    pub fn new(config: FtlConfig) -> Result<Self, FtlError> {
+        config.validate()?;
+        let geometry = config.geometry;
+        let logical_pages =
+            (geometry.page_count() as f64 * (1.0 - config.op_ratio)).floor() as u64;
+        let mapping = MappingTable::new(logical_pages, geometry.page_count());
+        let blocks = BlockTable::new(&geometry);
+        let user_alloc = PageAllocator::new(&geometry, config.alloc_policy);
+        // GC relocations stripe channel-first: they are not subject to the
+        // user allocation study and should spread evenly.
+        let gc_alloc = PageAllocator::new(&geometry, AllocPolicy::Cwdp);
+        let groups = SpatialGroups::new(geometry.ways.max(2), config.gc.gc_group_fraction);
+        Ok(Ftl {
+            config,
+            geometry,
+            logical_pages,
+            mapping,
+            blocks,
+            user_alloc,
+            gc_alloc,
+            groups,
+            write_mask: WayMask::all(geometry.ways),
+            spatial_epoch_active: false,
+            stats: FtlStats::default(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Host-visible capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Read-only block metadata access.
+    pub fn blocks(&self) -> &BlockTable {
+        &self.blocks
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    /// Current free-block ratio.
+    pub fn free_ratio(&self) -> f64 {
+        self.blocks.free_ratio()
+    }
+
+    /// Free blocks held back for GC relocations: enough to absorb a full
+    /// victim batch even if every victim page were still live.
+    pub fn gc_reserve_blocks(&self) -> u64 {
+        self.config.gc.victims_per_trigger as u64 + 1
+    }
+
+    /// Whether the GC trigger watermark has been reached.
+    pub fn needs_gc(&self) -> bool {
+        self.free_ratio() <= self.config.gc.trigger_free_ratio
+    }
+
+    /// Whether free space is critically low (preemptive GC must stop
+    /// yielding): either the hard watermark is breached or user writes are
+    /// already blocked on the GC reserve.
+    pub fn critically_low(&self) -> bool {
+        self.free_ratio() <= self.config.gc.hard_free_ratio
+            || self.blocks.free_blocks() <= self.gc_reserve_blocks() + 1
+    }
+
+    /// The logical→physical translation for `lpn`, if mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of logical range.
+    pub fn lookup(&self, lpn: Lpn) -> Option<Ppn> {
+        self.mapping.lookup(lpn)
+    }
+
+    /// Whether `ppn` currently holds live data.
+    pub fn is_valid(&self, ppn: Ppn) -> bool {
+        self.blocks.is_valid(ppn)
+    }
+
+    /// Writes `lpn`: allocates a fresh physical page within the current
+    /// write mask, updates the mapping and invalidates the old page.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] or [`FtlError::OutOfSpace`].
+    pub fn write(&mut self, lpn: Lpn) -> Result<WriteOutcome, FtlError> {
+        if lpn.raw() >= self.logical_pages {
+            return Err(FtlError::LpnOutOfRange(lpn.raw()));
+        }
+        // User writes may not open blocks from the GC reserve; without it,
+        // a saturating write stream steals every block an erase frees
+        // before the collector can place its own copies, and reclamation
+        // deadlocks. Open blocks keep accepting pages regardless.
+        let reserve = self.gc_reserve_blocks();
+        let ppn = self
+            .user_alloc
+            .allocate_with_reserve(&mut self.blocks, self.write_mask, reserve)?;
+        let invalidated = self.mapping.map(lpn, ppn);
+        if let Some(old) = invalidated {
+            self.blocks.invalidate(old);
+        }
+        self.stats.host_writes += 1;
+        Ok(WriteOutcome { ppn, invalidated })
+    }
+
+    /// Trims `lpn`, invalidating its physical page if mapped.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`].
+    pub fn trim(&mut self, lpn: Lpn) -> Result<Option<Ppn>, FtlError> {
+        if lpn.raw() >= self.logical_pages {
+            return Err(FtlError::LpnOutOfRange(lpn.raw()));
+        }
+        let old = self.mapping.unmap(lpn);
+        if let Some(ppn) = old {
+            self.blocks.invalidate(ppn);
+        }
+        Ok(old)
+    }
+
+    /// The current user-write way mask.
+    pub fn write_mask(&self) -> WayMask {
+        self.write_mask
+    }
+
+    /// The spatial-GC group state.
+    pub fn groups(&self) -> &SpatialGroups {
+        &self.groups
+    }
+
+    /// Begins a spatial-GC epoch: confines user writes to the I/O group and
+    /// returns `(gc_mask, io_mask)`.
+    pub fn begin_spatial_epoch(&mut self) -> (WayMask, WayMask) {
+        self.spatial_epoch_active = true;
+        self.write_mask = self.groups.io_ways();
+        (self.groups.gc_ways(), self.groups.io_ways())
+    }
+
+    /// Ends the spatial-GC epoch: lifts the write restriction and swaps the
+    /// groups for next time.
+    pub fn end_spatial_epoch(&mut self) {
+        self.spatial_epoch_active = false;
+        self.write_mask = WayMask::all(self.geometry.ways);
+        self.groups.swap();
+    }
+
+    /// Whether a spatial epoch is in progress.
+    pub fn spatial_epoch_active(&self) -> bool {
+        self.spatial_epoch_active
+    }
+
+    /// Selects victim blocks for one GC trigger, restricted to `mask`
+    /// (pass `WayMask::all` for non-spatial policies), and counts the
+    /// trigger.
+    pub fn select_gc_victims<R: Rng>(&mut self, mask: WayMask, rng: &mut R) -> Vec<Pbn> {
+        self.stats.gc_triggers += 1;
+        select_victims(
+            &self.blocks,
+            self.config.gc.victims_per_trigger as usize,
+            mask,
+            self.config.gc.victim_policy,
+            rng,
+        )
+    }
+
+    /// The live pages of `pbn` with their logical owners, in page order.
+    pub fn live_pages(&self, pbn: Pbn) -> Vec<(Lpn, Ppn)> {
+        self.blocks
+            .valid_pages(pbn)
+            .into_iter()
+            .map(|ppn| {
+                let lpn = self
+                    .mapping
+                    .reverse(ppn)
+                    .expect("valid page must have a logical owner");
+                (lpn, ppn)
+            })
+            .collect()
+    }
+
+    /// Relocates one live page during GC: allocates a destination within
+    /// `mask` from the GC write stream, remaps, and invalidates the source.
+    ///
+    /// Returns `None` (not an error) if `lpn` no longer maps to `src` — the
+    /// host overwrote it after victim selection, so there is nothing to
+    /// move.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if the permitted ways are exhausted.
+    pub fn relocate(
+        &mut self,
+        lpn: Lpn,
+        src: Ppn,
+        mask: WayMask,
+    ) -> Result<Option<Relocation>, FtlError> {
+        if self.mapping.lookup(lpn) != Some(src) {
+            return Ok(None);
+        }
+        let dst = self.gc_alloc.allocate(&mut self.blocks, mask)?;
+        self.mapping.map(lpn, dst);
+        self.blocks.invalidate(src);
+        self.stats.gc_relocations += 1;
+        Ok(Some(Relocation { lpn, src, dst }))
+    }
+
+    /// Erases a fully-invalidated block; returns `false` if the block hit
+    /// the endurance limit and was retired instead of freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still holds valid pages (a GC logic error).
+    pub fn erase_block(&mut self, pbn: Pbn) -> bool {
+        let survived = self
+            .blocks
+            .erase_with_endurance(pbn, self.config.endurance_limit);
+        self.stats.erases += 1;
+        if !survived {
+            self.stats.blocks_retired += 1;
+        }
+        survived
+    }
+
+    /// Runs GC to completion instantly (no timing), reclaiming until the
+    /// free ratio exceeds the trigger watermark or no block has any garbage
+    /// left to collect. Used for preconditioning and by tests; the timed
+    /// engine drives GC step-by-step instead.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if relocation destinations run out.
+    pub fn instant_gc<R: Rng>(&mut self, rng: &mut R) -> Result<(), FtlError> {
+        let all = WayMask::all(self.geometry.ways);
+        while self.needs_gc() {
+            let victims = self.select_gc_victims(all, rng);
+            if victims.is_empty() {
+                // Nothing reclaimable: every full block is fully valid.
+                // Yield rather than fail — open blocks may still have room.
+                return Ok(());
+            }
+            for pbn in victims {
+                for (lpn, src) in self.live_pages(pbn) {
+                    self.relocate(lpn, src, all)?;
+                }
+                self.erase_block(pbn);
+            }
+        }
+        Ok(())
+    }
+
+    /// Preconditions the device: sequentially fills `fill_fraction` of the
+    /// logical space, then performs `overwrite_fraction × logical` random
+    /// overwrites to fragment the blocks, running instant GC as needed.
+    /// Counters are reset afterwards so experiments start clean.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures (which indicate an infeasible
+    /// fill/OP combination).
+    pub fn precondition<R: Rng>(
+        &mut self,
+        fill_fraction: f64,
+        overwrite_fraction: f64,
+        rng: &mut R,
+    ) -> Result<(), FtlError> {
+        assert!((0.0..=1.0).contains(&fill_fraction));
+        assert!((0.0..=2.0).contains(&overwrite_fraction));
+        let filled = (self.logical_pages as f64 * fill_fraction) as u64;
+        for l in 0..filled {
+            self.write_with_instant_gc(Lpn::new(l), rng)?;
+        }
+        let overwrites = (self.logical_pages as f64 * overwrite_fraction) as u64;
+        for _ in 0..overwrites {
+            let l = rng.gen_range(0..filled.max(1));
+            self.write_with_instant_gc(Lpn::new(l), rng)?;
+        }
+        self.stats = FtlStats::default();
+        Ok(())
+    }
+
+    /// Pushes the device to the GC trigger watermark with random
+    /// overwrites over `0..max_lpn` (no reclamation), so a timed run
+    /// experiences garbage collection from its very first writes. Call
+    /// after [`Ftl::precondition`]; `max_lpn` should be the preconditioned
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if the reserve is reached before the
+    /// trigger (mis-tuned watermarks).
+    pub fn pressurize<R: Rng>(&mut self, max_lpn: u64, rng: &mut R) -> Result<(), FtlError> {
+        assert!(max_lpn > 0, "pressurize needs a nonempty LPN range");
+        while !self.needs_gc() {
+            let l = rng.gen_range(0..max_lpn);
+            self.write(Lpn::new(l))?;
+        }
+        self.stats = FtlStats::default();
+        Ok(())
+    }
+
+    fn write_with_instant_gc<R: Rng>(&mut self, lpn: Lpn, rng: &mut R) -> Result<(), FtlError> {
+        if self.needs_gc() {
+            self.instant_gc(rng)?;
+        }
+        match self.write(lpn) {
+            Ok(_) => Ok(()),
+            Err(FtlError::OutOfSpace) => {
+                self.instant_gc(rng)?;
+                self.write(lpn).map(|_| ())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Checks internal consistency (mapping tables and valid counts agree);
+    /// used by tests and debug assertions.
+    pub fn check_consistency(&self) -> bool {
+        self.mapping.check_consistency()
+            && self.mapping.mapped_pages() == self.blocks.total_valid_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nssd_flash::Geometry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_ftl() -> Ftl {
+        let mut cfg = FtlConfig::evaluation_defaults();
+        cfg.geometry = Geometry::tiny();
+        cfg.gc.victims_per_trigger = 2;
+        Ftl::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn write_then_lookup() {
+        let mut ftl = tiny_ftl();
+        let out = ftl.write(Lpn::new(7)).unwrap();
+        assert_eq!(ftl.lookup(Lpn::new(7)), Some(out.ppn));
+        assert!(ftl.is_valid(out.ppn));
+        assert!(ftl.check_consistency());
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_page() {
+        let mut ftl = tiny_ftl();
+        let first = ftl.write(Lpn::new(3)).unwrap();
+        let second = ftl.write(Lpn::new(3)).unwrap();
+        assert_eq!(second.invalidated, Some(first.ppn));
+        assert!(!ftl.is_valid(first.ppn));
+        assert!(ftl.is_valid(second.ppn));
+        assert!(ftl.check_consistency());
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut ftl = tiny_ftl();
+        let out = ftl.write(Lpn::new(1)).unwrap();
+        assert_eq!(ftl.trim(Lpn::new(1)).unwrap(), Some(out.ppn));
+        assert_eq!(ftl.lookup(Lpn::new(1)), None);
+        assert_eq!(ftl.trim(Lpn::new(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn lpn_range_enforced() {
+        let mut ftl = tiny_ftl();
+        let bad = Lpn::new(ftl.logical_pages());
+        assert!(matches!(
+            ftl.write(bad),
+            Err(FtlError::LpnOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn overprovisioning_hides_capacity() {
+        let ftl = tiny_ftl();
+        assert!(ftl.logical_pages() < ftl.geometry().page_count());
+        let expect = (ftl.geometry().page_count() as f64 * 0.875).floor() as u64;
+        assert_eq!(ftl.logical_pages(), expect);
+    }
+
+    #[test]
+    fn gc_reclaims_space() {
+        let mut ftl = tiny_ftl();
+        let mut rng = StdRng::seed_from_u64(42);
+        // Fill the whole logical space, then overwrite to force garbage.
+        ftl.precondition(1.0, 0.5, &mut rng).unwrap();
+        assert!(ftl.free_ratio() > 0.0);
+        assert!(ftl.check_consistency());
+        // Every logical page is still readable after GC churn.
+        for l in 0..ftl.logical_pages() {
+            assert!(ftl.lookup(Lpn::new(l)).is_some(), "lost lpn{l}");
+        }
+    }
+
+    #[test]
+    fn spatial_epoch_restricts_writes_and_swaps() {
+        let mut ftl = tiny_ftl();
+        let (gc_mask, io_mask) = ftl.begin_spatial_epoch();
+        assert!(ftl.spatial_epoch_active());
+        assert_eq!(ftl.write_mask(), io_mask);
+        // All writes during the epoch land in the I/O group.
+        for l in 0..8 {
+            let out = ftl.write(Lpn::new(l)).unwrap();
+            let way = ftl.geometry().page_addr(out.ppn).way;
+            assert!(io_mask.contains(way));
+            assert!(!gc_mask.contains(way));
+        }
+        let before = *ftl.groups();
+        ftl.end_spatial_epoch();
+        assert!(!ftl.spatial_epoch_active());
+        assert_ne!(ftl.groups().gc_ways(), before.gc_ways());
+    }
+
+    #[test]
+    fn relocate_skips_stale_pages() {
+        let mut ftl = tiny_ftl();
+        let all = WayMask::all(ftl.geometry().ways);
+        let out = ftl.write(Lpn::new(0)).unwrap();
+        // Host overwrites before GC gets to the page.
+        ftl.write(Lpn::new(0)).unwrap();
+        let moved = ftl.relocate(Lpn::new(0), out.ppn, all).unwrap();
+        assert_eq!(moved, None);
+    }
+
+    #[test]
+    fn relocate_moves_live_page() {
+        let mut ftl = tiny_ftl();
+        let all = WayMask::all(ftl.geometry().ways);
+        let out = ftl.write(Lpn::new(5)).unwrap();
+        let moved = ftl.relocate(Lpn::new(5), out.ppn, all).unwrap().unwrap();
+        assert_eq!(moved.src, out.ppn);
+        assert_eq!(ftl.lookup(Lpn::new(5)), Some(moved.dst));
+        assert!(!ftl.is_valid(out.ppn));
+        assert_eq!(ftl.stats().gc_relocations, 1);
+        assert!(ftl.check_consistency());
+    }
+
+    #[test]
+    fn write_amplification_tracked() {
+        let mut ftl = tiny_ftl();
+        let mut rng = StdRng::seed_from_u64(7);
+        ftl.precondition(1.0, 0.2, &mut rng).unwrap();
+        // Post-precondition counters are reset.
+        assert_eq!(ftl.stats().host_writes, 0);
+        for l in 0..200 {
+            ftl.write_with_instant_gc(Lpn::new(l % ftl.logical_pages()), &mut rng)
+                .unwrap();
+        }
+        assert!(ftl.stats().write_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn endurance_limit_retires_blocks_until_device_eol() {
+        use rand::Rng;
+        let mut cfg = FtlConfig::evaluation_defaults();
+        cfg.geometry = Geometry::tiny();
+        cfg.gc.victims_per_trigger = 2;
+        cfg.endurance_limit = Some(2);
+        let mut ftl = Ftl::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        ftl.precondition(0.7, 0.0, &mut rng).unwrap();
+        let hot = (ftl.logical_pages() * 7 / 10).max(1);
+        // Churn overwrites; at 2 P/E cycles the device retires blocks and
+        // eventually reaches end-of-life (OutOfSpace) — both are correct.
+        let mut eol = false;
+        for _ in 0..200_000 {
+            if ftl.needs_gc() && ftl.instant_gc(&mut rng).is_err() {
+                eol = true;
+                break;
+            }
+            let lpn = Lpn::new(rng.gen_range(0..hot));
+            match ftl.write(lpn) {
+                Ok(_) => {}
+                Err(FtlError::OutOfSpace) => {
+                    eol = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(
+            ftl.blocks().retired_blocks() > 0,
+            "sustained churn at a 2-cycle endurance limit must retire blocks (eol={eol})"
+        );
+        assert!(ftl.check_consistency());
+        for (pbn, meta) in ftl.blocks().iter() {
+            if meta.state() == crate::BlockState::Bad {
+                assert!(meta.erase_count() >= 2, "block {pbn} retired early");
+            }
+        }
+    }
+
+    #[test]
+    fn live_pages_reports_owners() {
+        let mut ftl = tiny_ftl();
+        let out = ftl.write(Lpn::new(9)).unwrap();
+        let pbn = ftl.geometry().pbn_of(out.ppn);
+        let live = ftl.live_pages(pbn);
+        assert_eq!(live, vec![(Lpn::new(9), out.ppn)]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Page-level logical-to-physical mapping.
+//!
+//! A dense forward table (LPN → PPN) plus the reverse table (PPN → LPN) that
+//! garbage collection needs to find the owner of a valid physical page.
+
+use core::fmt;
+
+use nssd_flash::Ppn;
+
+/// A logical page number (host-visible page index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lpn(u64);
+
+impl Lpn {
+    /// Creates an LPN from its raw index.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Lpn(raw)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Lpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lpn{}", self.0)
+    }
+}
+
+const UNMAPPED: u64 = u64::MAX;
+
+/// Dense bidirectional page mapping table.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_flash::Ppn;
+/// use nssd_ftl::{Lpn, MappingTable};
+///
+/// let mut m = MappingTable::new(100, 200);
+/// assert_eq!(m.lookup(Lpn::new(5)), None);
+/// m.map(Lpn::new(5), Ppn::new(42));
+/// assert_eq!(m.lookup(Lpn::new(5)), Some(Ppn::new(42)));
+/// assert_eq!(m.reverse(Ppn::new(42)), Some(Lpn::new(5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MappingTable {
+    l2p: Vec<u64>,
+    p2l: Vec<u64>,
+    mapped: u64,
+}
+
+impl MappingTable {
+    /// Creates an empty table for `logical_pages` LPNs and `physical_pages`
+    /// PPNs.
+    pub fn new(logical_pages: u64, physical_pages: u64) -> Self {
+        MappingTable {
+            l2p: vec![UNMAPPED; logical_pages as usize],
+            p2l: vec![UNMAPPED; physical_pages as usize],
+            mapped: 0,
+        }
+    }
+
+    /// Number of logical pages the table covers.
+    pub fn logical_pages(&self) -> u64 {
+        self.l2p.len() as u64
+    }
+
+    /// Number of physical pages the table covers.
+    pub fn physical_pages(&self) -> u64 {
+        self.p2l.len() as u64
+    }
+
+    /// Number of currently mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    /// The physical page backing `lpn`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of range.
+    pub fn lookup(&self, lpn: Lpn) -> Option<Ppn> {
+        let v = self.l2p[lpn.raw() as usize];
+        (v != UNMAPPED).then(|| Ppn::new(v))
+    }
+
+    /// The logical owner of physical page `ppn`, if it is mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppn` is out of range.
+    pub fn reverse(&self, ppn: Ppn) -> Option<Lpn> {
+        let v = self.p2l[ppn.raw() as usize];
+        (v != UNMAPPED).then(|| Lpn::new(v))
+    }
+
+    /// Maps `lpn` to `ppn`, returning the previously mapped physical page
+    /// (which the caller must invalidate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range, or if `ppn` is already the
+    /// backing page of a different LPN (a double-allocation bug).
+    pub fn map(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn> {
+        let prev_p = self.p2l[ppn.raw() as usize];
+        assert!(
+            prev_p == UNMAPPED || prev_p == lpn.raw(),
+            "physical page {ppn} already owned by lpn{prev_p}"
+        );
+        let old = self.l2p[lpn.raw() as usize];
+        if old != UNMAPPED {
+            self.p2l[old as usize] = UNMAPPED;
+        } else {
+            self.mapped += 1;
+        }
+        self.l2p[lpn.raw() as usize] = ppn.raw();
+        self.p2l[ppn.raw() as usize] = lpn.raw();
+        (old != UNMAPPED).then(|| Ppn::new(old))
+    }
+
+    /// Unmaps `lpn` (trim), returning its former physical page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of range.
+    pub fn unmap(&mut self, lpn: Lpn) -> Option<Ppn> {
+        let old = self.l2p[lpn.raw() as usize];
+        if old == UNMAPPED {
+            return None;
+        }
+        self.l2p[lpn.raw() as usize] = UNMAPPED;
+        self.p2l[old as usize] = UNMAPPED;
+        self.mapped -= 1;
+        Some(Ppn::new(old))
+    }
+
+    /// Checks the forward/reverse consistency invariant; used by tests.
+    pub fn check_consistency(&self) -> bool {
+        let mut count = 0;
+        for (l, &p) in self.l2p.iter().enumerate() {
+            if p != UNMAPPED {
+                count += 1;
+                if self.p2l[p as usize] != l as u64 {
+                    return false;
+                }
+            }
+        }
+        for (p, &l) in self.p2l.iter().enumerate() {
+            if l != UNMAPPED && self.l2p[l as usize] != p as u64 {
+                return false;
+            }
+        }
+        count == self.mapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_lookup() {
+        let mut m = MappingTable::new(10, 20);
+        assert_eq!(m.map(Lpn::new(3), Ppn::new(7)), None);
+        assert_eq!(m.lookup(Lpn::new(3)), Some(Ppn::new(7)));
+        assert_eq!(m.reverse(Ppn::new(7)), Some(Lpn::new(3)));
+        assert_eq!(m.mapped_pages(), 1);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    fn remap_returns_old_page_and_releases_it() {
+        let mut m = MappingTable::new(10, 20);
+        m.map(Lpn::new(3), Ppn::new(7));
+        assert_eq!(m.map(Lpn::new(3), Ppn::new(9)), Some(Ppn::new(7)));
+        assert_eq!(m.reverse(Ppn::new(7)), None);
+        assert_eq!(m.reverse(Ppn::new(9)), Some(Lpn::new(3)));
+        assert_eq!(m.mapped_pages(), 1);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    fn unmap_trims() {
+        let mut m = MappingTable::new(10, 20);
+        m.map(Lpn::new(1), Ppn::new(2));
+        assert_eq!(m.unmap(Lpn::new(1)), Some(Ppn::new(2)));
+        assert_eq!(m.unmap(Lpn::new(1)), None);
+        assert_eq!(m.mapped_pages(), 0);
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn double_allocation_detected() {
+        let mut m = MappingTable::new(10, 20);
+        m.map(Lpn::new(1), Ppn::new(2));
+        m.map(Lpn::new(3), Ppn::new(2));
+    }
+
+    #[test]
+    fn mapping_same_pair_is_idempotent() {
+        let mut m = MappingTable::new(10, 20);
+        m.map(Lpn::new(1), Ppn::new(2));
+        assert_eq!(m.map(Lpn::new(1), Ppn::new(2)), Some(Ppn::new(2)));
+        assert!(m.check_consistency());
+    }
+}

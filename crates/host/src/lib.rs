@@ -1,0 +1,50 @@
+//! Host interface model for the Networked SSD reproduction.
+//!
+//! * [`IoRequest`]/[`IoOp`]/[`RequestId`] — the block-level request model
+//!   every workload produces and the engine consumes.
+//! * [`HostParams`]/[`HostPipes`] — the NVMe/PCIe link, SoC system bus and
+//!   internal DRAM as bandwidth pipes, provisioned per Table II.
+//!
+//! ```
+//! use nssd_host::{HostParams, HostPipes, IoOp, IoRequest};
+//! use nssd_sim::SimTime;
+//!
+//! let req = IoRequest::new(IoOp::Write, 0, 64 * 1024, SimTime::ZERO);
+//! let mut pipes = HostPipes::new(HostParams::table2());
+//! let landed = pipes.inbound(req.at, req.len as u64, 0);
+//! assert!(landed.end > req.at);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipes;
+mod request;
+
+pub use pipes::{HostParams, HostPipes};
+pub use request::{IoOp, IoRequest, RequestId};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use nssd_sim::SimTime;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn page_span_covers_request(offset in 0u64..1_000_000_000, len in 1u32..1_000_000) {
+            let r = IoRequest::new(IoOp::Read, offset, len, SimTime::ZERO);
+            let page = 16 * 1024u32;
+            let (first, count) = r.page_span(page);
+            let span_start = first * page as u64;
+            let span_end = (first + count as u64) * page as u64;
+            prop_assert!(span_start <= offset);
+            prop_assert!(span_end >= offset + len as u64);
+            // Minimal cover: dropping the last page would expose bytes.
+            prop_assert!(span_end - (page as u64) < offset + len as u64);
+            if count > 1 {
+                prop_assert!(span_start + page as u64 > offset);
+            }
+        }
+    }
+}

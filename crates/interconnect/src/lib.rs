@@ -1,0 +1,130 @@
+//! Flash memory interconnect models for the Networked SSD reproduction.
+//!
+//! Everything between the flash channel controllers and the flash chips:
+//!
+//! * [`signals`] — the ONFI NV-DDR4 pin inventory (Table I) and the pin
+//!   accounting behind packetization's ~2× effective bandwidth.
+//! * [`ControlPacket`] / [`DataPacket`] — the packet formats of Fig 8 with a
+//!   bit-level header codec and overhead accounting.
+//! * [`BusParams`], [`DedicatedBus`], [`PacketBus`] — wire-timing models for
+//!   the conventional dedicated-signal interface (Fig 6a) and the packetized
+//!   interface (Fig 6b).
+//! * [`Omnibus`] — the 2D bus topology of pnSSD (§V): h-channels,
+//!   v-channels, controller ownership, path diversity, and the Fig 11
+//!   control-plane handshake accounting.
+//! * [`Mesh`] — the NoSSD 2D mesh comparison topology with XY routing.
+//!
+//! ```
+//! use nssd_flash::FlashCommand;
+//! use nssd_interconnect::{BusParams, DedicatedBus, PacketBus};
+//!
+//! let base = DedicatedBus::new(BusParams::table2_baseline());
+//! let pssd = PacketBus::new(BusParams::table2_pssd());
+//! // Packetization roughly halves the page read-out occupancy.
+//! let conventional = base.read_occupancy(16 * 1024);
+//! let packetized = pssd.control_packet_time(FlashCommand::ReadPage)
+//!     + pssd.read_out_time(16 * 1024);
+//! assert!(packetized < conventional.scale(11, 20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod mesh;
+mod omnibus;
+mod packet;
+pub mod signals;
+mod timing_diagram;
+
+pub use bus::{BusParams, DedicatedBus, PacketBus};
+pub use mesh::{LinkId, Mesh, MeshEndpoint, MeshParams};
+pub use omnibus::{ControllerRole, IoPath, Omnibus};
+pub use packet::{ControlPacket, DataPacket, PacketError, PacketType, DATA_LEN_FLITS, FLIT_BYTES};
+pub use timing_diagram::{Phase, PhaseDriver, TimingDiagram};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn data_packet_prefix_roundtrip(bytes in 1u32..=64 * 1024) {
+            let p = DataPacket::new(bytes);
+            let enc = p.encode_prefix();
+            prop_assert_eq!(DataPacket::decode_prefix(&enc).unwrap(), p);
+        }
+
+        #[test]
+        fn control_header_roundtrip(t in 0u8..4, c in 0u8..4, r in 0u8..4) {
+            let p = ControlPacket { command_flits: t, column_flits: c, row_flits: r };
+            let enc = p.encode_header().unwrap();
+            prop_assert_eq!(ControlPacket::decode_header(enc).unwrap(), p);
+        }
+
+        #[test]
+        fn payload_time_monotone_in_bytes(
+            mt in 1u64..4000,
+            width in prop::sample::select(vec![2u32, 4, 8, 16]),
+            a in 0u64..100_000,
+            b in 0u64..100_000,
+        ) {
+            let bus = BusParams::new(mt, width);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bus.payload_time(lo) <= bus.payload_time(hi));
+        }
+
+        #[test]
+        fn doubling_width_never_slower(bytes in 1u64..1_000_000) {
+            let narrow = BusParams::new(1000, 8);
+            let wide = BusParams::new(1000, 16);
+            prop_assert!(wide.payload_time(bytes) <= narrow.payload_time(bytes));
+        }
+
+        #[test]
+        fn mesh_routes_are_valid_walks(
+            rows in 1u32..9,
+            cols in 1u32..9,
+            r1 in 0u32..9,
+            c1 in 0u32..9,
+            ctrl in 0u32..9,
+        ) {
+            let m = Mesh::new(rows, cols);
+            let chip = MeshEndpoint::Chip { row: r1 % rows, col: c1 % cols };
+            let ctrl_ep = MeshEndpoint::Controller(ctrl % cols);
+            for (s, d) in [(ctrl_ep, chip), (chip, ctrl_ep)] {
+                let path = m.route(s, d);
+                prop_assert!(path.len() <= (rows + cols) as usize + 1);
+                for l in &path {
+                    prop_assert!(l.0 < m.link_count());
+                }
+                // No link repeats on a minimal XY route.
+                let mut sorted: Vec<_> = path.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), path.len());
+            }
+        }
+
+        #[test]
+        fn omnibus_every_way_has_a_v_channel(channels in 1u32..16, ways in 1u32..16) {
+            let t = Omnibus::new(channels, ways, channels);
+            for w in 0..ways {
+                let v = t.v_channel_of_way(w);
+                prop_assert!(v < t.v_channel_count());
+                let owner = t.controller_of_v_channel(v);
+                prop_assert!(owner < channels);
+            }
+        }
+
+        #[test]
+        fn omnibus_handshake_bounded(channels in 1u32..16, src in 0u32..16, dst in 0u32..16, v in 0u32..16) {
+            let t = Omnibus::new(channels, channels, channels);
+            let (src, dst, v) = (src % channels, dst % channels, v % t.v_channel_count());
+            let msgs = t.f2f_handshake_messages(src, dst, v);
+            prop_assert!(msgs <= 4);
+            prop_assert_eq!(msgs % 2, 0);
+        }
+    }
+}

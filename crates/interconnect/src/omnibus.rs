@@ -1,0 +1,292 @@
+//! The Omnibus topology (§V): a 2D bus organization for pnSSD.
+//!
+//! Every chip sits on one *horizontal* channel (its row — the conventional
+//! flash bus, always controller-attached) and one *vertical* channel (its
+//! column). Each flash channel controller uses the pin bandwidth freed by
+//! packetization to additionally drive exactly one v-channel, producing a
+//! *split* architecture: controllers are the control plane, chips and
+//! channels are the data plane.
+//!
+//! This module is pure topology math — which paths exist, who owns which
+//! v-channel, and how many control-plane messages a transfer needs (Fig 11).
+//! Actual channel contention is modeled by the engine with one
+//! [`nssd_sim::Resource`] per channel.
+
+use core::fmt;
+
+use nssd_sim::SimTime;
+
+/// Identifies one of the two path classes a chip can use for I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoPath {
+    /// The chip's horizontal channel (index = channel/row).
+    Horizontal(u32),
+    /// The chip's vertical channel (index = v-channel).
+    Vertical(u32),
+}
+
+/// The role a controller plays in one flash-to-flash transfer (Fig 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerRole {
+    /// Its h-channel hosts the source chip.
+    Source,
+    /// Its h-channel hosts the destination chip.
+    Destination,
+    /// It only owns the v-channel the transfer rides on.
+    Intermediate,
+}
+
+impl fmt::Display for ControllerRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ControllerRole::Source => "source",
+            ControllerRole::Destination => "destination",
+            ControllerRole::Intermediate => "intermediate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Omnibus 2D bus topology.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_interconnect::{IoPath, Omnibus};
+///
+/// let t = Omnibus::new(8, 8, 8);
+/// // Chip at channel 2, way 5 can use h-channel 2 or v-channel 5.
+/// assert_eq!(t.h_path(2), IoPath::Horizontal(2));
+/// assert_eq!(t.v_path(5), IoPath::Vertical(5));
+/// assert_eq!(t.controller_of_v_channel(5), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Omnibus {
+    channels: u32,
+    ways: u32,
+    controllers: u32,
+}
+
+impl Omnibus {
+    /// Creates an Omnibus over `channels` rows × `ways` columns with
+    /// `controllers` flash channel controllers (normally one per channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `controllers != channels` (the
+    /// paper's organization pairs one controller with each h-channel).
+    pub fn new(channels: u32, ways: u32, controllers: u32) -> Self {
+        assert!(channels > 0 && ways > 0 && controllers > 0);
+        assert!(
+            controllers == channels,
+            "each h-channel needs its controller (got {controllers} controllers, {channels} channels)"
+        );
+        Omnibus {
+            channels,
+            ways,
+            controllers,
+        }
+    }
+
+    /// Number of horizontal channels (rows).
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Number of ways (columns).
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Number of controllers.
+    pub fn controllers(&self) -> u32 {
+        self.controllers
+    }
+
+    /// Number of vertical channels. With fewer controllers than ways, each
+    /// v-channel interconnects several adjacent columns (§V-E); with more
+    /// controllers than ways, the surplus controllers drive no v-channel.
+    pub fn v_channel_count(&self) -> u32 {
+        self.controllers.min(self.ways)
+    }
+
+    /// The v-channel serving column `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn v_channel_of_way(&self, way: u32) -> u32 {
+        assert!(way < self.ways, "way {way} out of range ({})", self.ways);
+        (way as u64 * self.v_channel_count() as u64 / self.ways as u64) as u32
+    }
+
+    /// The controller that owns (drives) v-channel `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn controller_of_v_channel(&self, v: u32) -> u32 {
+        assert!(v < self.v_channel_count(), "v-channel {v} out of range");
+        v
+    }
+
+    /// The horizontal I/O path of a chip on `channel`.
+    pub fn h_path(&self, channel: u32) -> IoPath {
+        assert!(channel < self.channels);
+        IoPath::Horizontal(channel)
+    }
+
+    /// The vertical I/O path of a chip in column `way`.
+    pub fn v_path(&self, way: u32) -> IoPath {
+        IoPath::Vertical(self.v_channel_of_way(way))
+    }
+
+    /// The v-channel a direct flash-to-flash copy can use, if the two chips
+    /// share one (the spatial-GC destination constraint, §VI-A).
+    pub fn f2f_v_channel(&self, src_way: u32, dst_way: u32) -> Option<u32> {
+        let a = self.v_channel_of_way(src_way);
+        let b = self.v_channel_of_way(dst_way);
+        (a == b).then_some(a)
+    }
+
+    /// The role controller `ctrl` plays in a transfer from a chip on
+    /// `src_channel` to a chip on `dst_channel` over v-channel `v`, or
+    /// `None` if it is uninvolved.
+    pub fn role_of(
+        &self,
+        ctrl: u32,
+        src_channel: u32,
+        dst_channel: u32,
+        v: u32,
+    ) -> Option<ControllerRole> {
+        if ctrl == src_channel {
+            Some(ControllerRole::Source)
+        } else if ctrl == dst_channel {
+            Some(ControllerRole::Destination)
+        } else if ctrl == self.controller_of_v_channel(v) {
+            Some(ControllerRole::Intermediate)
+        } else {
+            None
+        }
+    }
+
+    /// Number of SoC control-plane messages (requests + grants) needed to
+    /// arbitrate a flash-to-flash transfer from a chip on `src_channel` to a
+    /// chip on `dst_channel` over v-channel `v` (Fig 11). Each distinct
+    /// controller-to-controller edge on the request path costs one request
+    /// and one grant.
+    pub fn f2f_handshake_messages(&self, src_channel: u32, dst_channel: u32, v: u32) -> u32 {
+        let owner = self.controller_of_v_channel(v);
+        let mut edges = 0;
+        if src_channel != owner {
+            edges += 1;
+        }
+        if owner != dst_channel {
+            edges += 1;
+        }
+        // Same-controller transfers still exchange one local req/grant pair
+        // with the on-die data plane, which we fold into zero SoC messages.
+        2 * edges
+    }
+
+    /// Number of SoC messages for an *I/O* transfer that rides the
+    /// v-channel: the chip's h-channel controller must coordinate with the
+    /// v-channel owner (zero if they are the same controller).
+    pub fn io_v_handshake_messages(&self, chip_channel: u32, v: u32) -> u32 {
+        if chip_channel == self.controller_of_v_channel(v) {
+            0
+        } else {
+            2
+        }
+    }
+
+    /// Latency of `messages` control-plane messages at `msg_latency` each.
+    pub fn handshake_time(&self, messages: u32, msg_latency: SimTime) -> SimTime {
+        msg_latency * messages as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_organization_owns_one_v_each() {
+        let t = Omnibus::new(8, 8, 8);
+        assert_eq!(t.v_channel_count(), 8);
+        for w in 0..8 {
+            assert_eq!(t.v_channel_of_way(w), w);
+            assert_eq!(t.controller_of_v_channel(w), w);
+        }
+    }
+
+    #[test]
+    fn wide_organization_groups_columns() {
+        // 4 channels/controllers, 8 ways: each v-channel spans 2 columns.
+        let t = Omnibus::new(4, 8, 4);
+        assert_eq!(t.v_channel_count(), 4);
+        assert_eq!(t.v_channel_of_way(0), 0);
+        assert_eq!(t.v_channel_of_way(1), 0);
+        assert_eq!(t.v_channel_of_way(2), 1);
+        assert_eq!(t.v_channel_of_way(7), 3);
+    }
+
+    #[test]
+    fn tall_organization_leaves_idle_controllers() {
+        // 8 channels, 4 ways: only 4 v-channels exist.
+        let t = Omnibus::new(8, 4, 8);
+        assert_eq!(t.v_channel_count(), 4);
+        assert_eq!(t.v_channel_of_way(3), 3);
+    }
+
+    #[test]
+    fn f2f_requires_shared_v_channel() {
+        let t = Omnibus::new(8, 8, 8);
+        assert_eq!(t.f2f_v_channel(3, 3), Some(3));
+        assert_eq!(t.f2f_v_channel(3, 4), None);
+        let grouped = Omnibus::new(4, 8, 4);
+        // Ways 0 and 1 share v-channel 0 in the grouped organization.
+        assert_eq!(grouped.f2f_v_channel(0, 1), Some(0));
+    }
+
+    #[test]
+    fn roles_match_fig11() {
+        let t = Omnibus::new(8, 8, 8);
+        // Fig 11(a): C0 source, C1 destination, v owned by C0.
+        assert_eq!(t.role_of(0, 0, 1, 0), Some(ControllerRole::Source));
+        assert_eq!(t.role_of(1, 0, 1, 0), Some(ControllerRole::Destination));
+        // Fig 11(c): src C2, dst C3, v-channel owned by C0.
+        assert_eq!(t.role_of(0, 2, 3, 0), Some(ControllerRole::Intermediate));
+        assert_eq!(t.role_of(5, 2, 3, 0), None);
+    }
+
+    #[test]
+    fn handshake_message_counts_match_fig11() {
+        let t = Omnibus::new(8, 8, 8);
+        // (a) source owns the v-channel: one req/grant pair with the dest.
+        assert_eq!(t.f2f_handshake_messages(0, 1, 0), 2);
+        // (b) destination owns the v-channel: symmetric.
+        assert_eq!(t.f2f_handshake_messages(2, 0, 0), 2);
+        // (c) intermediate owner: request relayed C2→C0→C3, grants back.
+        assert_eq!(t.f2f_handshake_messages(2, 3, 0), 4);
+        // Entirely local.
+        assert_eq!(t.f2f_handshake_messages(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn io_handshake_free_on_own_column() {
+        let t = Omnibus::new(8, 8, 8);
+        assert_eq!(t.io_v_handshake_messages(3, 3), 0);
+        assert_eq!(t.io_v_handshake_messages(2, 3), 2);
+        assert_eq!(
+            t.handshake_time(2, SimTime::from_ns(100)),
+            SimTime::from_ns(200)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "controller")]
+    fn controller_channel_mismatch_rejected() {
+        let _ = Omnibus::new(8, 8, 4);
+    }
+}

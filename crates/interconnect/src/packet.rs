@@ -1,0 +1,324 @@
+//! Packet formats of the packetized interface (Fig 8).
+//!
+//! A *flit* is 8 bits — one transfer beat on an 8-bit channel; a 16-bit
+//! channel moves two flits per beat. Control packets carry a command and its
+//! column/row addresses behind a one-flit header whose `T`/`C`/`R` fields
+//! give the three variable lengths. Data packets carry a page (or part of
+//! one) behind a one-flit header and a two-flit length field.
+//!
+//! The header layout implemented here packs `type:2 | T:2 | C:2 | R:2`; the
+//! paper counts 6 of the 8 header bits as semantically used, yielding its
+//! quoted 25% control-header / 50% data-header overhead. Either way the
+//! header costs exactly one flit, which is what the timing model consumes.
+
+use core::fmt;
+
+use nssd_flash::FlashCommand;
+
+/// Number of payload bytes carried per flit.
+pub const FLIT_BYTES: u32 = 1;
+
+/// Length field width of a data packet, in flits (16-bit length: pages up to
+/// 64 KB per Fig 8).
+pub const DATA_LEN_FLITS: u32 = 2;
+
+/// Discriminates packet kinds in the header's `Type` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    /// Command/address packet.
+    Control = 0b00,
+    /// Payload packet.
+    Data = 0b01,
+}
+
+impl PacketType {
+    /// Decodes the 2-bit type field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::UnknownType`] for reserved encodings.
+    pub fn from_bits(bits: u8) -> Result<Self, PacketError> {
+        match bits & 0b11 {
+            0b00 => Ok(PacketType::Control),
+            0b01 => Ok(PacketType::Data),
+            other => Err(PacketError::UnknownType(other)),
+        }
+    }
+}
+
+/// Errors from packet header decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Reserved `Type` encoding.
+    UnknownType(u8),
+    /// Header/length bytes missing.
+    Truncated,
+    /// A field exceeded its encodable range.
+    FieldOverflow(&'static str),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::UnknownType(b) => write!(f, "unknown packet type bits {b:#04b}"),
+            PacketError::Truncated => write!(f, "packet bytes truncated"),
+            PacketError::FieldOverflow(field) => write!(f, "packet field `{field}` overflows"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A control packet: one header flit plus command/column/row flits.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_flash::FlashCommand;
+/// use nssd_interconnect::ControlPacket;
+///
+/// let p = ControlPacket::for_command(FlashCommand::ReadPage);
+/// // header(1) + cmd(2) + col(2) + row(3)
+/// assert_eq!(p.flits(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlPacket {
+    /// Command flit count (`T` field), at most 3.
+    pub command_flits: u8,
+    /// Column-address flit count (`C` field), at most 3.
+    pub column_flits: u8,
+    /// Row-address flit count (`R` field), at most 3.
+    pub row_flits: u8,
+}
+
+impl ControlPacket {
+    /// Builds the control packet that encodes `cmd` with its standard
+    /// address cycle counts.
+    pub fn for_command(cmd: FlashCommand) -> Self {
+        ControlPacket {
+            command_flits: cmd.command_bytes() as u8,
+            column_flits: cmd.column_address_bytes() as u8,
+            row_flits: cmd.row_address_bytes() as u8,
+        }
+    }
+
+    /// Total flits on the wire, including the header.
+    pub fn flits(&self) -> u64 {
+        1 + self.command_flits as u64 + self.column_flits as u64 + self.row_flits as u64
+    }
+
+    /// Encodes the header flit: `type:2 | T:2 | C:2 | R:2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::FieldOverflow`] if any count exceeds 3.
+    pub fn encode_header(&self) -> Result<u8, PacketError> {
+        if self.command_flits > 3 {
+            return Err(PacketError::FieldOverflow("T"));
+        }
+        if self.column_flits > 3 {
+            return Err(PacketError::FieldOverflow("C"));
+        }
+        if self.row_flits > 3 {
+            return Err(PacketError::FieldOverflow("R"));
+        }
+        Ok(((PacketType::Control as u8) << 6)
+            | (self.command_flits << 4)
+            | (self.column_flits << 2)
+            | self.row_flits)
+    }
+
+    /// Decodes a header flit produced by [`ControlPacket::encode_header`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the type bits do not say *control*.
+    pub fn decode_header(byte: u8) -> Result<Self, PacketError> {
+        match PacketType::from_bits(byte >> 6)? {
+            PacketType::Control => Ok(ControlPacket {
+                command_flits: (byte >> 4) & 0b11,
+                column_flits: (byte >> 2) & 0b11,
+                row_flits: byte & 0b11,
+            }),
+            PacketType::Data => Err(PacketError::UnknownType(byte >> 6)),
+        }
+    }
+
+    /// Fraction of the header flit that is framing overhead (the paper's
+    /// 25%: 2 of 8 bits unused in its 6-bit-semantics layout).
+    pub fn header_overhead_fraction() -> f64 {
+        0.25
+    }
+}
+
+/// A data packet: one header flit, a two-flit length, then the payload.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_interconnect::DataPacket;
+///
+/// let p = DataPacket::new(16 * 1024);
+/// assert_eq!(p.flits(), 1 + 2 + 16 * 1024);
+/// assert!(p.overhead_fraction() < 0.001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataPacket {
+    /// Payload size in bytes (≤ 64 KB, the maximum page size the length
+    /// field encodes).
+    pub payload_bytes: u32,
+}
+
+impl DataPacket {
+    /// Creates a data packet for `payload_bytes` of page data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the 64 KB the 16-bit length encodes,
+    /// or is zero.
+    pub fn new(payload_bytes: u32) -> Self {
+        assert!(payload_bytes > 0, "data packet payload must be nonzero");
+        assert!(
+            payload_bytes <= 64 * 1024,
+            "data packet payload exceeds 64 KB length field"
+        );
+        DataPacket { payload_bytes }
+    }
+
+    /// Total flits on the wire: header + length + payload.
+    pub fn flits(&self) -> u64 {
+        1 + DATA_LEN_FLITS as u64 + self.payload_bytes as u64 / FLIT_BYTES as u64
+    }
+
+    /// Encodes header + length flits.
+    pub fn encode_prefix(&self) -> [u8; 3] {
+        // Length field stores payload_bytes - 1 so 64 KB fits in 16 bits.
+        let len = self.payload_bytes - 1;
+        [
+            (PacketType::Data as u8) << 6,
+            (len >> 8) as u8,
+            (len & 0xff) as u8,
+        ]
+    }
+
+    /// Decodes the three prefix flits back into a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a non-data type field.
+    pub fn decode_prefix(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < 3 {
+            return Err(PacketError::Truncated);
+        }
+        match PacketType::from_bits(bytes[0] >> 6)? {
+            PacketType::Data => {
+                let len = ((bytes[1] as u32) << 8) | bytes[2] as u32;
+                Ok(DataPacket {
+                    payload_bytes: len + 1,
+                })
+            }
+            PacketType::Control => Err(PacketError::UnknownType(bytes[0] >> 6)),
+        }
+    }
+
+    /// Fraction of the whole packet that is framing overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.flits() as f64;
+        (total - self.payload_bytes as f64) / total
+    }
+
+    /// Fraction of the header flit that is framing overhead (the paper's
+    /// 50%: 4 of 8 bits unused).
+    pub fn header_overhead_fraction() -> f64 {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_packet_sizes_per_command() {
+        let read = ControlPacket::for_command(FlashCommand::ReadPage);
+        assert_eq!(read.flits(), 8);
+        let erase = ControlPacket::for_command(FlashCommand::EraseBlock);
+        assert_eq!(erase.flits(), 6);
+        let rdt = ControlPacket::for_command(FlashCommand::ReadDataTransfer);
+        assert_eq!(rdt.flits(), 4);
+    }
+
+    #[test]
+    fn control_header_roundtrip() {
+        for cmd in [
+            FlashCommand::ReadPage,
+            FlashCommand::ProgramPage,
+            FlashCommand::EraseBlock,
+            FlashCommand::ReadDataTransfer,
+            FlashCommand::XferOut,
+            FlashCommand::XferIn,
+            FlashCommand::ProgramFromVPage,
+        ] {
+            let p = ControlPacket::for_command(cmd);
+            let enc = p.encode_header().unwrap();
+            assert_eq!(ControlPacket::decode_header(enc).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn control_header_rejects_oversized_fields() {
+        let p = ControlPacket {
+            command_flits: 4,
+            column_flits: 0,
+            row_flits: 0,
+        };
+        assert_eq!(p.encode_header(), Err(PacketError::FieldOverflow("T")));
+    }
+
+    #[test]
+    fn data_packet_16k_page() {
+        let p = DataPacket::new(16 * 1024);
+        assert_eq!(p.flits(), 16_387);
+        // 3 framing flits over 16387 ≈ 0.018% — "relatively small" per §IV-B3.
+        assert!(p.overhead_fraction() < 0.0002);
+    }
+
+    #[test]
+    fn data_prefix_roundtrip_boundaries() {
+        for &bytes in &[1u32, 2, 255, 256, 16 * 1024, 64 * 1024] {
+            let p = DataPacket::new(bytes);
+            let enc = p.encode_prefix();
+            assert_eq!(DataPacket::decode_prefix(&enc).unwrap(), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "64 KB")]
+    fn data_packet_too_large_panics() {
+        let _ = DataPacket::new(64 * 1024 + 1);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_type() {
+        let ctrl = ControlPacket::for_command(FlashCommand::ReadPage)
+            .encode_header()
+            .unwrap();
+        assert!(DataPacket::decode_prefix(&[ctrl, 0, 0]).is_err());
+        let data = DataPacket::new(64).encode_prefix();
+        assert!(ControlPacket::decode_header(data[0]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        assert_eq!(
+            DataPacket::decode_prefix(&[0x40]),
+            Err(PacketError::Truncated)
+        );
+    }
+
+    #[test]
+    fn header_overhead_constants_match_paper() {
+        assert_eq!(ControlPacket::header_overhead_fraction(), 0.25);
+        assert_eq!(DataPacket::header_overhead_fraction(), 0.5);
+    }
+}

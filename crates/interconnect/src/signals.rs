@@ -1,0 +1,182 @@
+//! ONFI NV-DDR4 signal inventory (the paper's Table I).
+//!
+//! The pin accounting here grounds the paper's central bandwidth argument:
+//! of the 18 interface signals, only 8 (`DQ[7:0]`) carry payload in the
+//! conventional dedicated-signal interface; the packetized interface
+//! repurposes the control pins (keeping only `CE` and `R/B` for
+//! handshaking) to roughly double the effective data width.
+
+use core::fmt;
+
+/// The electrical role of an interface signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Dedicated control signal (CLE, ALE, …).
+    Control,
+    /// Data/strobe signal that carries or clocks payload.
+    DataIo,
+}
+
+/// One named interface signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signal {
+    /// Signal mnemonic (e.g. `"CLE"`).
+    pub name: &'static str,
+    /// Electrical role.
+    pub kind: SignalKind,
+    /// Number of physical pins (e.g. 8 for `DQ[7:0]`).
+    pub pins: u32,
+    /// Human-readable description from ONFI.
+    pub description: &'static str,
+    /// Whether the packetized interface still needs this signal as a
+    /// dedicated pin (`CE` per chip and `R/B` status, §IV-A).
+    pub kept_by_pssd: bool,
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.description)
+    }
+}
+
+/// The NV-DDR4 signal set of Table I.
+pub fn nv_ddr4_signals() -> &'static [Signal] {
+    const S: &[Signal] = &[
+        Signal {
+            name: "CLE",
+            kind: SignalKind::Control,
+            pins: 1,
+            description: "Command Latch Enable",
+            kept_by_pssd: false,
+        },
+        Signal {
+            name: "ALE",
+            kind: SignalKind::Control,
+            pins: 1,
+            description: "Address Latch Enable",
+            kept_by_pssd: false,
+        },
+        Signal {
+            name: "RE",
+            kind: SignalKind::Control,
+            pins: 1,
+            description: "Read Enable",
+            kept_by_pssd: false,
+        },
+        Signal {
+            name: "RE_c",
+            kind: SignalKind::Control,
+            pins: 1,
+            description: "Read Enable Complement",
+            kept_by_pssd: false,
+        },
+        Signal {
+            name: "WE",
+            kind: SignalKind::Control,
+            pins: 1,
+            description: "Write Enable",
+            kept_by_pssd: false,
+        },
+        Signal {
+            name: "WP",
+            kind: SignalKind::Control,
+            pins: 1,
+            description: "Write Protection",
+            kept_by_pssd: false,
+        },
+        Signal {
+            name: "CE",
+            kind: SignalKind::Control,
+            pins: 1,
+            description: "Chip Enable",
+            kept_by_pssd: true,
+        },
+        Signal {
+            name: "R/B_n",
+            kind: SignalKind::Control,
+            pins: 1,
+            description: "Ready/Busy",
+            kept_by_pssd: true,
+        },
+        Signal {
+            name: "DQ[7:0]",
+            kind: SignalKind::DataIo,
+            pins: 8,
+            description: "Data Input/Outputs",
+            kept_by_pssd: true,
+        },
+        Signal {
+            name: "DQS",
+            kind: SignalKind::DataIo,
+            pins: 1,
+            description: "Data Strobe",
+            kept_by_pssd: true,
+        },
+        Signal {
+            name: "DQS_c",
+            kind: SignalKind::DataIo,
+            pins: 1,
+            description: "Data Strobe Complement",
+            kept_by_pssd: true,
+        },
+    ];
+    S
+}
+
+/// Total pin count of the NV-DDR4 interface.
+pub fn total_pins() -> u32 {
+    nv_ddr4_signals().iter().map(|s| s.pins).sum()
+}
+
+/// Pins that carry payload in the conventional interface (`DQ` only).
+pub fn conventional_payload_pins() -> u32 {
+    nv_ddr4_signals()
+        .iter()
+        .filter(|s| s.name.starts_with("DQ["))
+        .map(|s| s.pins)
+        .sum()
+}
+
+/// Pins freed by packetization (control pins not kept as dedicated signals),
+/// which pSSD repurposes as extra data width.
+pub fn pins_freed_by_packetization() -> u32 {
+    nv_ddr4_signals()
+        .iter()
+        .filter(|s| !s.kept_by_pssd)
+        .map(|s| s.pins)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_signals_ten_payload_capable() {
+        // Table I / §I: 18 pins total, 10 used for data+strobe.
+        assert_eq!(total_pins(), 18);
+        let data_pins: u32 = nv_ddr4_signals()
+            .iter()
+            .filter(|s| s.kind == SignalKind::DataIo)
+            .map(|s| s.pins)
+            .sum();
+        assert_eq!(data_pins, 10);
+    }
+
+    #[test]
+    fn dq_is_eight_bits() {
+        assert_eq!(conventional_payload_pins(), 8);
+    }
+
+    #[test]
+    fn packetization_frees_six_control_pins() {
+        // CLE, ALE, RE, RE_c, WE, WP become available; CE and R/B stay.
+        assert_eq!(pins_freed_by_packetization(), 6);
+        let kept: Vec<_> = nv_ddr4_signals()
+            .iter()
+            .filter(|s| s.kind == SignalKind::Control && s.kept_by_pssd)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(kept, vec!["CE", "R/B_n"]);
+    }
+}

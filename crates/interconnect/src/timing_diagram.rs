@@ -1,0 +1,196 @@
+//! ASCII timing diagrams for read transactions (the paper's Fig 6).
+//!
+//! Renders the sequence of bus/array phases of one page read on the
+//! conventional dedicated-signal interface versus the packetized interface,
+//! with phase durations to scale (log-compressed so the 3 µs array read
+//! does not dwarf the nanosecond command phases).
+
+use nssd_flash::{FlashCommand, FlashTiming};
+use nssd_sim::SimTime;
+
+use crate::{DedicatedBus, PacketBus};
+
+/// One labeled phase of a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Short label (e.g. `"CMD"`, `"tR"`, `"DATA"`).
+    pub label: String,
+    /// Which agent drives the bus during the phase.
+    pub driver: PhaseDriver,
+    /// Duration.
+    pub duration: SimTime,
+}
+
+/// Who occupies the channel during a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseDriver {
+    /// Flash channel controller drives.
+    Controller,
+    /// Flash chip drives.
+    Chip,
+    /// The bus is idle (array busy).
+    Idle,
+}
+
+/// A transaction's phase list plus rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingDiagram {
+    title: String,
+    phases: Vec<Phase>,
+}
+
+impl TimingDiagram {
+    /// Builds the conventional read transaction of Fig 6(a).
+    pub fn conventional_read(bus: &DedicatedBus, timing: FlashTiming, page_bytes: u32) -> Self {
+        TimingDiagram {
+            title: "conventional (dedicated signals)".into(),
+            phases: vec![
+                Phase {
+                    label: "CMD 00h+ADDR+30h".into(),
+                    driver: PhaseDriver::Controller,
+                    duration: bus.command_phase(FlashCommand::ReadPage),
+                },
+                Phase {
+                    label: "tR".into(),
+                    driver: PhaseDriver::Idle,
+                    duration: timing.read,
+                },
+                Phase {
+                    label: "DATA (RE_n clocked)".into(),
+                    driver: PhaseDriver::Chip,
+                    duration: bus.data_phase(page_bytes as u64),
+                },
+            ],
+        }
+    }
+
+    /// Builds the packetized read transaction of Fig 6(b).
+    pub fn packetized_read(bus: &PacketBus, timing: FlashTiming, page_bytes: u32) -> Self {
+        TimingDiagram {
+            title: "packetized (pSSD)".into(),
+            phases: vec![
+                Phase {
+                    label: "CTRL pkt (read)".into(),
+                    driver: PhaseDriver::Controller,
+                    duration: bus.control_packet_time(FlashCommand::ReadPage),
+                },
+                Phase {
+                    label: "tR".into(),
+                    driver: PhaseDriver::Idle,
+                    duration: timing.read,
+                },
+                Phase {
+                    label: "CTRL pkt (rdt)".into(),
+                    driver: PhaseDriver::Controller,
+                    duration: bus.control_packet_time(FlashCommand::ReadDataTransfer),
+                },
+                Phase {
+                    label: "DATA pkt".into(),
+                    driver: PhaseDriver::Chip,
+                    duration: bus.data_packet_time(page_bytes),
+                },
+            ],
+        }
+    }
+
+    /// The phases in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total transaction latency.
+    pub fn total(&self) -> SimTime {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Channel occupancy (bus-driving phases only).
+    pub fn bus_occupancy(&self) -> SimTime {
+        self.phases
+            .iter()
+            .filter(|p| p.driver != PhaseDriver::Idle)
+            .map(|p| p.duration)
+            .sum()
+    }
+
+    /// Renders a two-row ASCII diagram (`DQ` occupancy and phase ruler).
+    /// Widths are log-compressed so nanosecond and microsecond phases both
+    /// stay legible.
+    pub fn render(&self) -> String {
+        let width_of = |d: SimTime| -> usize {
+            // ~4 chars per decade above 1 ns, min 3.
+            (3.0 + (d.as_ns().max(1) as f64).log10() * 4.0).round() as usize
+        };
+        let mut bar = String::from("DQ |");
+        let mut ruler = String::from("   |");
+        for p in &self.phases {
+            let fill = match p.driver {
+                PhaseDriver::Controller => '>',
+                PhaseDriver::Chip => '<',
+                PhaseDriver::Idle => '.',
+            };
+            let label = format!("{} {}", p.label, p.duration);
+            // Wide enough for both the scaled duration and the full label.
+            let w = width_of(p.duration).max(label.len());
+            bar.push_str(&fill.to_string().repeat(w));
+            bar.push('|');
+            ruler.push_str(&format!("{label:<w$}"));
+            ruler.push('|');
+        }
+        format!("-- {} (total {})\n{bar}\n{ruler}\n", self.title, self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BusParams;
+
+    fn diagrams() -> (TimingDiagram, TimingDiagram) {
+        let base = DedicatedBus::new(BusParams::table2_baseline());
+        let pssd = PacketBus::new(BusParams::table2_pssd());
+        (
+            TimingDiagram::conventional_read(&base, FlashTiming::ull(), 16 * 1024),
+            TimingDiagram::packetized_read(&pssd, FlashTiming::ull(), 16 * 1024),
+        )
+    }
+
+    #[test]
+    fn totals_match_component_models() {
+        let (conv, pkt) = diagrams();
+        assert_eq!(conv.total(), SimTime::from_ns(7 + 3_000 + 16_384));
+        // tR is common; the packetized bus phases are about half.
+        assert!(pkt.total() < conv.total());
+        assert!(pkt.bus_occupancy() < conv.bus_occupancy().scale(11, 20));
+    }
+
+    #[test]
+    fn idle_phase_excluded_from_occupancy() {
+        let (conv, _) = diagrams();
+        assert_eq!(
+            conv.total() - conv.bus_occupancy(),
+            SimTime::from_us(3),
+            "tR is the only idle phase"
+        );
+    }
+
+    #[test]
+    fn render_contains_phases_and_scales() {
+        let (conv, pkt) = diagrams();
+        let c = conv.render();
+        assert!(c.contains("tR"));
+        assert!(c.contains("DATA"));
+        assert!(c.lines().count() >= 3);
+        let p = pkt.render();
+        assert!(p.contains("CTRL pkt"));
+        // Data phase is chip-driven ('<'), command controller-driven ('>').
+        assert!(p.contains('<') && p.contains('>') && p.contains('.'));
+    }
+
+    #[test]
+    fn phase_list_shape() {
+        let (conv, pkt) = diagrams();
+        assert_eq!(conv.phases().len(), 3);
+        assert_eq!(pkt.phases().len(), 4);
+        assert_eq!(conv.phases()[1].driver, PhaseDriver::Idle);
+    }
+}

@@ -1,0 +1,211 @@
+//! Discrete-event queue.
+//!
+//! [`EventQueue`] is a priority queue of `(time, event)` pairs, popped in
+//! nondecreasing time order. Events scheduled for the same instant are popped
+//! in the order they were scheduled (a strict FIFO tiebreak), which makes the
+//! whole simulation deterministic for a fixed input.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Key,
+    event: E,
+}
+
+// Manual impls so `E` itself does not need Ord.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A deterministic discrete-event priority queue.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(20), "late");
+/// q.schedule(SimTime::from_ns(10), "early");
+/// q.schedule(SimTime::from_ns(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with capacity for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let key = Key {
+            at,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Entry { key, event }));
+    }
+
+    /// Schedules `event` to fire `delay` after `now`.
+    pub fn schedule_after(&mut self, now: SimTime, delay: SimTime, event: E) {
+        self.schedule(now + delay, event);
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.key.at, e.event))
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.key.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5u64, 3, 9, 1, 7] {
+            q.schedule(SimTime::from_ns(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn fifo_tiebreak_at_same_time() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(4);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_offsets_from_now() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimTime::from_ns(10), SimTime::from_ns(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(15)));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_preserve_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(30), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+}

@@ -1,0 +1,297 @@
+//! Simulated time.
+//!
+//! The whole simulator uses integer nanoseconds. [`SimTime`] is used both for
+//! *instants* (nanoseconds since simulation start) and *durations*
+//! (nanosecond spans); discrete-event storage simulators conventionally share
+//! one monotone scalar for both roles, and keeping a single type avoids a
+//! large amount of conversion noise in the timing models.
+
+use core::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in simulated time, or a span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_sim::SimTime;
+///
+/// let t_r = SimTime::from_us(3);
+/// let xfer = SimTime::from_ns(16_384);
+/// assert_eq!((t_r + xfer).as_ns(), 19_384);
+/// assert!(xfer > t_r);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (simulation start) / the empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (more than ~584 years of microseconds).
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// The raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: returns [`SimTime::ZERO`] instead of
+    /// underflowing.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+
+    /// Whether this is the zero time.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies a duration by a rational factor `num/den`, rounding to the
+    /// nearest nanosecond. Used by bandwidth scaling sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or on intermediate overflow.
+    #[inline]
+    pub fn scale(self, num: u64, den: u64) -> SimTime {
+        assert!(den != 0, "scale denominator must be nonzero");
+        SimTime((self.0 as u128 * num as u128 / den as u128) as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Rem<SimTime> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn rem(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-readable rendering with an adaptive unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}us", self.as_us_f64())
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.as_ms_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl From<u64> for SimTime {
+    #[inline]
+    fn from(ns: u64) -> Self {
+        SimTime(ns)
+    }
+}
+
+impl From<SimTime> for u64 {
+    #[inline]
+    fn from(t: SimTime) -> u64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1_000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = SimTime::from_ns(1500);
+        let b = SimTime::from_ns(500);
+        assert_eq!(a + b, SimTime::from_ns(2000));
+        assert_eq!(a - b, SimTime::from_ns(1000));
+        assert_eq!(a * 2, SimTime::from_ns(3000));
+        assert_eq!(a / 3, SimTime::from_ns(500));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        let a = SimTime::from_ns(5);
+        let b = SimTime::from_ns(9);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a), SimTime::from_ns(4));
+    }
+
+    #[test]
+    fn scale_is_rounded_down_ratio() {
+        let t = SimTime::from_ns(1000);
+        assert_eq!(t.scale(1, 2), SimTime::from_ns(500));
+        assert_eq!(t.scale(3, 2), SimTime::from_ns(1500));
+        // large values do not overflow via the u128 intermediate
+        let big = SimTime::from_secs(1_000_000);
+        assert_eq!(big.scale(2, 1), big * 2);
+    }
+
+    #[test]
+    fn display_picks_adaptive_units() {
+        assert_eq!(SimTime::from_ns(10).to_string(), "10ns");
+        assert_eq!(SimTime::from_us(3).to_string(), "3.00us");
+        assert_eq!(SimTime::from_ms(1).to_string(), "1.00ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn min_max_and_is_zero() {
+        let a = SimTime::from_ns(1);
+        let b = SimTime::from_ns(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = [1u64, 2, 3].iter().map(|&n| SimTime::from_ns(n)).sum();
+        assert_eq!(total, SimTime::from_ns(6));
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let t: SimTime = 42u64.into();
+        let back: u64 = t.into();
+        assert_eq!(back, 42);
+    }
+}

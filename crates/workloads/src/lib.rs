@@ -1,0 +1,77 @@
+//! Workload substrate for the Networked SSD reproduction.
+//!
+//! * [`Trace`] — an ordered block-level I/O trace with statistics and a
+//!   plain-text codec.
+//! * [`Zipf`] — skewed address sampling with scattered hot items.
+//! * [`SyntheticSpec`]/[`SyntheticPattern`] — the sequential/random
+//!   read/write streams of Figs 16–18.
+//! * [`PaperWorkload`]/[`generate_trace`] — the named suite standing in for
+//!   the paper's enterprise traces, with per-workload documented
+//!   characteristics (read mix, skew, burstiness, idleness).
+//!
+//! ```
+//! use nssd_workloads::PaperWorkload;
+//!
+//! let trace = PaperWorkload::Exchange1.generate(1000, 1 << 28, 42);
+//! assert_eq!(trace.name(), "exchange-1");
+//! assert!((trace.read_fraction() - 0.55).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod import;
+mod stats;
+mod suite;
+mod synthetic;
+mod trace;
+mod zipf;
+
+pub use import::{import_msr, MsrImportOptions, MsrParseError};
+pub use stats::TraceStats;
+pub use suite::{generate_trace, PaperWorkload, WorkloadSpec, REFERENCE_BYTES_PER_SEC};
+pub use synthetic::{SyntheticPattern, SyntheticSpec};
+pub use trace::{Trace, TraceParseError};
+pub use zipf::Zipf;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn trace_text_roundtrip(requests in 1usize..200, seed in 0u64..1000) {
+            let t = PaperWorkload::YcsbA.generate(requests, 1 << 26, seed);
+            let back: Trace = t.to_text().parse().unwrap();
+            prop_assert_eq!(back, t);
+        }
+
+        #[test]
+        fn zipf_in_bounds(n in 1u64..100_000, s in 0.0f64..2.0, seed in 0u64..100) {
+            let z = Zipf::new(n, s, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn synthetic_request_counts(requests in 1usize..500) {
+            let t = SyntheticSpec::paper(SyntheticPattern::RandomRead, requests, 1 << 26).generate();
+            prop_assert_eq!(t.len(), requests);
+        }
+
+        #[test]
+        fn generated_traces_are_time_ordered(seed in 0u64..500) {
+            let t = PaperWorkload::Exchange0.generate(300, 1 << 26, seed);
+            for w in t.records().windows(2) {
+                prop_assert!(w[1].at >= w[0].at);
+            }
+        }
+    }
+}

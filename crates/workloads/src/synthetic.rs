@@ -1,0 +1,178 @@
+//! Synthetic workload generators (the paper's Figs 16–18 drive the SSD with
+//! sequential/random read/write streams at a controlled concurrency).
+
+use nssd_host::{IoOp, IoRequest};
+use nssd_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Trace;
+
+/// The four synthetic access patterns of Fig 16/17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticPattern {
+    /// Ascending addresses, reads.
+    SequentialRead,
+    /// Ascending addresses, writes.
+    SequentialWrite,
+    /// Uniform random addresses, reads.
+    RandomRead,
+    /// Uniform random addresses, writes.
+    RandomWrite,
+}
+
+impl SyntheticPattern {
+    /// The operation this pattern issues.
+    pub fn op(self) -> IoOp {
+        match self {
+            SyntheticPattern::SequentialRead | SyntheticPattern::RandomRead => IoOp::Read,
+            SyntheticPattern::SequentialWrite | SyntheticPattern::RandomWrite => IoOp::Write,
+        }
+    }
+
+    /// Whether addresses ascend sequentially.
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            SyntheticPattern::SequentialRead | SyntheticPattern::SequentialWrite
+        )
+    }
+
+    /// All four patterns, in the paper's presentation order.
+    pub fn all() -> [SyntheticPattern; 4] {
+        [
+            SyntheticPattern::SequentialRead,
+            SyntheticPattern::RandomRead,
+            SyntheticPattern::SequentialWrite,
+            SyntheticPattern::RandomWrite,
+        ]
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyntheticPattern::SequentialRead => "seq-read",
+            SyntheticPattern::RandomRead => "rand-read",
+            SyntheticPattern::SequentialWrite => "seq-write",
+            SyntheticPattern::RandomWrite => "rand-write",
+        }
+    }
+}
+
+/// Parameters for a synthetic request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Access pattern.
+    pub pattern: SyntheticPattern,
+    /// Bytes per request (the paper uses 64 KB with multi-plane commands).
+    pub request_bytes: u32,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Addressable footprint in bytes (requests wrap within it).
+    pub footprint_bytes: u64,
+    /// RNG seed for random patterns.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// The paper's synthetic setup: 64 KB requests over `footprint_bytes`.
+    pub fn paper(pattern: SyntheticPattern, requests: usize, footprint_bytes: u64) -> Self {
+        SyntheticSpec {
+            pattern,
+            request_bytes: 64 * 1024,
+            requests,
+            footprint_bytes,
+            seed: 0xD5D,
+        }
+    }
+
+    /// Generates the request list with zero arrival times: a closed-loop
+    /// driver controls concurrency, so arrivals carry no information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint cannot hold a single request.
+    pub fn generate(&self) -> Trace {
+        assert!(
+            self.footprint_bytes >= self.request_bytes as u64,
+            "footprint smaller than one request"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let slots = self.footprint_bytes / self.request_bytes as u64;
+        let mut trace = Trace::new(self.pattern.label());
+        let mut cursor = 0u64;
+        for _ in 0..self.requests {
+            let slot = if self.pattern.is_sequential() {
+                let s = cursor;
+                cursor = (cursor + 1) % slots;
+                s
+            } else {
+                rng.gen_range(0..slots)
+            };
+            trace.push(IoRequest::new(
+                self.pattern.op(),
+                slot * self.request_bytes as u64,
+                self.request_bytes,
+                SimTime::ZERO,
+            ));
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_ascends_and_wraps() {
+        let spec = SyntheticSpec {
+            pattern: SyntheticPattern::SequentialWrite,
+            request_bytes: 64 * 1024,
+            requests: 5,
+            footprint_bytes: 3 * 64 * 1024,
+            seed: 0,
+        };
+        let t = spec.generate();
+        let offsets: Vec<u64> = t.iter().map(|r| r.offset).collect();
+        assert_eq!(
+            offsets,
+            vec![0, 65536, 131072, 0, 65536],
+            "wraps at the footprint"
+        );
+        assert!(t.iter().all(|r| !r.op.is_read()));
+    }
+
+    #[test]
+    fn random_is_aligned_and_in_bounds() {
+        let spec = SyntheticSpec::paper(SyntheticPattern::RandomRead, 1000, 1 << 24);
+        let t = spec.generate();
+        for r in &t {
+            assert_eq!(r.offset % (64 * 1024), 0);
+            assert!(r.offset + r.len as u64 <= 1 << 24);
+            assert!(r.op.is_read());
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = SyntheticSpec::paper(SyntheticPattern::RandomWrite, 100, 1 << 22).generate();
+        let b = SyntheticSpec::paper(SyntheticPattern::RandomWrite, 100, 1 << 22).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_and_ops() {
+        assert_eq!(SyntheticPattern::all().len(), 4);
+        assert_eq!(SyntheticPattern::SequentialRead.label(), "seq-read");
+        assert!(SyntheticPattern::RandomRead.op().is_read());
+        assert!(SyntheticPattern::SequentialWrite.is_sequential());
+        assert!(!SyntheticPattern::RandomWrite.is_sequential());
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint")]
+    fn tiny_footprint_rejected() {
+        SyntheticSpec::paper(SyntheticPattern::RandomRead, 1, 1024).generate();
+    }
+}

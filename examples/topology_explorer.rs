@@ -1,0 +1,78 @@
+//! Interconnect anatomy: inspect the timing and topology models directly —
+//! packet layouts, bus occupancies, Omnibus ownership, mesh routes — without
+//! running a simulation.
+//!
+//! ```sh
+//! cargo run --example topology_explorer
+//! ```
+
+use networked_ssd::flash::FlashCommand;
+use networked_ssd::interconnect::{
+    signals, BusParams, ControlPacket, DataPacket, DedicatedBus, Mesh, MeshEndpoint, Omnibus,
+    PacketBus,
+};
+
+fn main() {
+    println!("== pin budget (Table I) ==");
+    println!(
+        "{} pins total; {} payload (DQ); packetization repurposes {} control pins",
+        signals::total_pins(),
+        signals::conventional_payload_pins(),
+        signals::pins_freed_by_packetization()
+    );
+
+    println!("\n== a 16KB page read on the wire (Fig 6) ==");
+    let base = DedicatedBus::new(BusParams::table2_baseline());
+    let pssd = PacketBus::new(BusParams::table2_pssd());
+    println!(
+        "conventional: {} cmd+addr, {} data  -> {} occupancy",
+        base.command_phase(FlashCommand::ReadPage),
+        base.data_phase(16 * 1024),
+        base.read_occupancy(16 * 1024)
+    );
+    let ctrl = ControlPacket::for_command(FlashCommand::ReadPage);
+    let data = DataPacket::new(16 * 1024);
+    println!(
+        "packetized:   control packet {} flits (header {:#04x}), data packet {} flits -> {} occupancy",
+        ctrl.flits(),
+        ctrl.encode_header().expect("encodable"),
+        data.flits(),
+        pssd.control_packet_time(FlashCommand::ReadPage) + pssd.read_out_time(16 * 1024)
+    );
+
+    println!("\n== Omnibus ownership (Fig 9c/11) ==");
+    let omni = Omnibus::new(8, 8, 8);
+    for way in [0u32, 3, 7] {
+        println!(
+            "chip column {way}: v-channel {} owned by controller {}",
+            omni.v_channel_of_way(way),
+            omni.controller_of_v_channel(omni.v_channel_of_way(way))
+        );
+    }
+    println!(
+        "f2f copy c2->c3 over v0 needs {} control-plane messages (intermediate case, Fig 11c)",
+        omni.f2f_handshake_messages(2, 3, 0)
+    );
+
+    println!("\n== NoSSD mesh routes (XY) ==");
+    let mesh = Mesh::new(8, 8);
+    for (src, dst, label) in [
+        (
+            MeshEndpoint::Controller(0),
+            MeshEndpoint::Chip { row: 7, col: 0 },
+            "own column",
+        ),
+        (
+            MeshEndpoint::Controller(0),
+            MeshEndpoint::Chip { row: 7, col: 7 },
+            "far corner",
+        ),
+        (
+            MeshEndpoint::Chip { row: 3, col: 1 },
+            MeshEndpoint::Chip { row: 5, col: 6 },
+            "chip-to-chip (GC copy)",
+        ),
+    ] {
+        println!("{label}: {} hops", mesh.hops(src, dst));
+    }
+}

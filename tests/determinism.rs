@@ -1,0 +1,69 @@
+//! Reproducibility: identical configuration + seed ⇒ identical results,
+//! across every layer of the stack.
+
+use networked_ssd::{
+    run_closed_loop, run_trace, run_trace_preconditioned, Architecture, GcPolicy, PaperWorkload,
+    SsdConfig, SyntheticPattern, SyntheticSpec,
+};
+
+#[test]
+fn trace_generation_is_bit_stable() {
+    for workload in PaperWorkload::all() {
+        let a = workload.generate(500, 1 << 26, 77);
+        let b = workload.generate(500, 1 << 26, 77);
+        assert_eq!(a, b, "{}", workload.name());
+        assert_eq!(a.to_text(), b.to_text());
+    }
+}
+
+#[test]
+fn open_loop_runs_are_identical() {
+    for arch in Architecture::all() {
+        let mut cfg = SsdConfig::tiny(arch);
+        cfg.gc.policy = GcPolicy::None;
+        let trace = PaperWorkload::Exchange0.generate(150, cfg.logical_bytes() / 2, 5);
+        let a = run_trace(cfg, &trace).unwrap();
+        let b = run_trace(cfg, &trace).unwrap();
+        assert_eq!(a, b, "{arch}");
+    }
+}
+
+#[test]
+fn closed_loop_runs_are_identical() {
+    let mut cfg = SsdConfig::tiny(Architecture::PnSsdSplit);
+    cfg.gc.policy = GcPolicy::None;
+    let spec = SyntheticSpec {
+        pattern: SyntheticPattern::RandomWrite,
+        request_bytes: 8192,
+        requests: 150,
+        footprint_bytes: cfg.logical_bytes() / 2,
+        seed: 9,
+    };
+    let t = spec.generate();
+    let a = run_closed_loop(cfg, &t, 8).unwrap();
+    let b = run_closed_loop(cfg, &t, 8).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gc_runs_are_identical_including_gc_stats() {
+    let mut cfg = SsdConfig::tiny(Architecture::PnSsd);
+    cfg.gc.policy = GcPolicy::Spatial;
+    let trace = PaperWorkload::YcsbA.generate(250, cfg.logical_bytes() / 2, 13);
+    let a = run_trace_preconditioned(cfg, &trace, 0.85, 0.3).unwrap();
+    let b = run_trace_preconditioned(cfg, &trace, 0.85, 0.3).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.gc, b.gc);
+    assert_eq!(a.ftl, b.ftl);
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let mut cfg = SsdConfig::tiny(Architecture::BaseSsd);
+    cfg.gc.policy = GcPolicy::None;
+    let t1 = PaperWorkload::YcsbA.generate(200, cfg.logical_bytes() / 2, 1);
+    let t2 = PaperWorkload::YcsbA.generate(200, cfg.logical_bytes() / 2, 2);
+    let a = run_trace(cfg, &t1).unwrap();
+    let b = run_trace(cfg, &t2).unwrap();
+    assert_ne!(a.all.mean, b.all.mean);
+}
