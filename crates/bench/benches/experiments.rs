@@ -1,13 +1,26 @@
-//! Criterion benches exercising each figure family end-to-end at reduced
-//! scale: one bench per experiment group, so `cargo bench` regenerates a
-//! miniature of every table/figure and tracks the simulator's wall-clock.
+//! End-to-end benches exercising each figure family at reduced scale: one
+//! bench per experiment group, so `cargo bench` regenerates a miniature of
+//! every table/figure and tracks the simulator's wall-clock.
+//!
+//! Self-contained `std::time::Instant` harness (the workspace builds
+//! offline, so no criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nssd_core::{
     run_closed_loop, run_closed_loop_preconditioned, run_trace, Architecture, SsdConfig,
 };
 use nssd_ftl::GcPolicy;
 use nssd_workloads::{PaperWorkload, SyntheticPattern, SyntheticSpec};
+use std::time::Instant;
+
+fn bench(name: &str, iters: u32, mut f: impl FnMut() -> u64) {
+    let mut sink = std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(std::hint::black_box(f()));
+    }
+    let per_iter = start.elapsed().as_micros() / iters as u128;
+    println!("{name:<44} {per_iter:>10} us/iter   (x{iters}, sink {sink:x})");
+}
 
 fn tiny_io_cfg(arch: Architecture) -> SsdConfig {
     let mut cfg = SsdConfig::tiny(arch);
@@ -16,23 +29,18 @@ fn tiny_io_cfg(arch: Architecture) -> SsdConfig {
 }
 
 /// Fig 14/15 family: open-loop trace replay per architecture.
-fn bench_fig14_family(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig14_trace_replay");
-    group.sample_size(10);
+fn bench_fig14_family() {
     for arch in Architecture::all() {
         let cfg = tiny_io_cfg(arch);
         let trace = PaperWorkload::Exchange1.generate(300, cfg.logical_bytes() / 2, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(arch.label()), &arch, |b, _| {
-            b.iter(|| run_trace(cfg, &trace).expect("run"))
+        bench(&format!("fig14_trace_replay/{}", arch.label()), 10, || {
+            run_trace(cfg, &trace).expect("run").completed
         });
     }
-    group.finish();
 }
 
 /// Fig 16/17 family: closed-loop synthetic sweep.
-fn bench_fig16_family(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig16_closed_loop");
-    group.sample_size(10);
+fn bench_fig16_family() {
     for depth in [1usize, 8, 32] {
         let cfg = tiny_io_cfg(Architecture::PnSsdSplit);
         let spec = SyntheticSpec {
@@ -43,17 +51,14 @@ fn bench_fig16_family(c: &mut Criterion) {
             seed: 1,
         };
         let trace = spec.generate();
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            b.iter(|| run_closed_loop(cfg, &trace, d).expect("run"))
+        bench(&format!("fig16_closed_loop/depth_{depth}"), 10, || {
+            run_closed_loop(cfg, &trace, depth).expect("run").completed
         });
     }
-    group.finish();
 }
 
 /// Fig 18/19/20 family: preconditioned run with GC per policy.
-fn bench_fig19_family(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig19_gc_policies");
-    group.sample_size(10);
+fn bench_fig19_family() {
     for policy in [GcPolicy::Parallel, GcPolicy::Preemptive, GcPolicy::Spatial] {
         let mut cfg = SsdConfig::tiny(Architecture::PnSsdSplit);
         cfg.gc.policy = policy;
@@ -66,23 +71,17 @@ fn bench_fig19_family(c: &mut Criterion) {
             seed: 2,
         };
         let trace = spec.generate();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy}")),
-            &policy,
-            |b, _| {
-                b.iter(|| {
-                    run_closed_loop_preconditioned(cfg, &trace, 8, 0.85, 0.3).expect("run")
-                })
-            },
-        );
+        bench(&format!("fig19_gc_policies/{policy}"), 10, || {
+            run_closed_loop_preconditioned(cfg, &trace, 8, 0.85, 0.3)
+                .expect("run")
+                .completed
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    experiments,
-    bench_fig14_family,
-    bench_fig16_family,
-    bench_fig19_family
-);
-criterion_main!(experiments);
+fn main() {
+    println!("experiment-family benches (mean over fixed iteration budget)");
+    bench_fig14_family();
+    bench_fig16_family();
+    bench_fig19_family();
+}

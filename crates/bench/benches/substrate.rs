@@ -1,196 +1,181 @@
-//! Criterion micro-benchmarks of the simulator substrate: the hot paths
-//! every experiment's wall-clock depends on.
+//! Micro-benchmarks of the simulator substrate: the hot paths every
+//! experiment's wall-clock depends on.
+//!
+//! Self-contained `std::time::Instant` harness (the workspace builds
+//! offline, so no criterion). Each benchmark reports the mean ns/iter over
+//! a fixed iteration budget after a warm-up pass; results print in a
+//! `name ... ns/iter` table. A consumed checksum keeps the optimizer
+//! honest.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nssd_flash::{FlashCommand, Geometry};
-use nssd_ftl::{AllocPolicy, BlockTable, Ftl, FtlConfig, Lpn, MappingTable, PageAllocator, WayMask};
+use nssd_ftl::{
+    AllocPolicy, BlockTable, Ftl, FtlConfig, Lpn, MappingTable, PageAllocator, WayMask,
+};
 use nssd_interconnect::{BusParams, ControlPacket, DataPacket, Mesh, MeshEndpoint, PacketBus};
-use nssd_sim::{EventQueue, Histogram, Resource, SimTime};
+use nssd_sim::{DetRng, EventQueue, Histogram, Resource, SimTime};
 use nssd_workloads::{PaperWorkload, Zipf};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::time::Instant;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.schedule(SimTime::from_ns(i.wrapping_mul(2654435761) % 1_000_000), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, e)) = q.pop() {
-                    acc = acc.wrapping_add(e);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
+/// Times `f` over `iters` iterations (after one warm-up call) and prints
+/// the mean ns/iter. `f` returns a checksum that is black-boxed to keep
+/// the benchmark body alive under optimization.
+fn bench(name: &str, iters: u32, mut f: impl FnMut() -> u64) {
+    let mut sink = std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(std::hint::black_box(f()));
+    }
+    let total = start.elapsed();
+    let per_iter = total.as_nanos() / iters as u128;
+    println!("{name:<40} {per_iter:>12} ns/iter   (x{iters}, sink {sink:x})");
+}
+
+fn bench_event_queue() {
+    bench("event_queue/push_pop_10k", 50, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_ns(i.wrapping_mul(2654435761) % 1_000_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        acc
     });
 }
 
-fn bench_resource(c: &mut Criterion) {
-    c.bench_function("resource/reserve_10k", |b| {
-        b.iter_batched(
-            Resource::new,
-            |mut r| {
-                let mut t = SimTime::ZERO;
-                for _ in 0..10_000 {
-                    let g = r.reserve(t, SimTime::from_ns(100));
-                    t = g.start;
-                }
-                r.busy_total()
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_resource() {
+    bench("resource/reserve_10k", 50, || {
+        let mut r = Resource::new();
+        let mut t = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let g = r.reserve(t, SimTime::from_ns(100));
+            t = g.start;
+        }
+        r.busy_total().as_ns()
     });
 }
 
-fn bench_packet_codec(c: &mut Criterion) {
-    c.bench_function("packet/control_header_roundtrip", |b| {
+fn bench_packet_codec() {
+    bench("packet/control_header_roundtrip", 10_000, || {
         let p = ControlPacket::for_command(FlashCommand::ReadPage);
-        b.iter(|| {
-            let enc = p.encode_header().unwrap();
-            ControlPacket::decode_header(std::hint::black_box(enc)).unwrap()
-        })
+        let enc = p.encode_header().unwrap();
+        let dec = ControlPacket::decode_header(std::hint::black_box(enc)).unwrap();
+        dec.command_flits as u64
     });
-    c.bench_function("packet/data_flit_timing", |b| {
+    bench("packet/data_flit_timing", 10_000, || {
         let bus = PacketBus::new(BusParams::table2_pssd());
-        b.iter(|| bus.data_packet_time(std::hint::black_box(16 * 1024)))
+        bus.data_packet_time(std::hint::black_box(16 * 1024))
+            .as_ns()
     });
-    c.bench_function("packet/data_prefix_roundtrip", |b| {
+    bench("packet/data_prefix_roundtrip", 10_000, || {
         let p = DataPacket::new(16 * 1024);
-        b.iter(|| DataPacket::decode_prefix(&std::hint::black_box(p.encode_prefix())).unwrap())
+        let dec = DataPacket::decode_prefix(&std::hint::black_box(p.encode_prefix())).unwrap();
+        dec.payload_bytes as u64
     });
 }
 
-fn bench_mapping(c: &mut Criterion) {
-    c.bench_function("ftl/mapping_remap_4k", |b| {
-        b.iter_batched(
-            || MappingTable::new(4096, 8192),
-            |mut m| {
-                for i in 0..4096u64 {
-                    m.map(Lpn::new(i), nssd_flash::Ppn::new(i));
-                }
-                for i in 0..4096u64 {
-                    m.map(Lpn::new(i), nssd_flash::Ppn::new(4096 + i));
-                }
-                m.mapped_pages()
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_mapping() {
+    bench("ftl/mapping_remap_4k", 100, || {
+        let mut m = MappingTable::new(4096, 8192);
+        for i in 0..4096u64 {
+            m.map(Lpn::new(i), nssd_flash::Ppn::new(i));
+        }
+        for i in 0..4096u64 {
+            m.map(Lpn::new(i), nssd_flash::Ppn::new(4096 + i));
+        }
+        m.mapped_pages()
     });
 }
 
-fn bench_allocator(c: &mut Criterion) {
+fn bench_allocator() {
     let g = Geometry::scaled();
-    c.bench_function("ftl/allocate_4k_pages_pcwd", |b| {
-        b.iter_batched(
-            || (BlockTable::new(&g), PageAllocator::new(&g, AllocPolicy::Pcwd)),
-            |(mut blocks, mut alloc)| {
-                let mask = WayMask::all(g.ways);
-                for _ in 0..4096 {
-                    alloc.allocate(&mut blocks, mask).unwrap();
-                }
-                blocks.free_blocks()
-            },
-            BatchSize::SmallInput,
-        )
+    bench("ftl/allocate_4k_pages_pcwd", 100, || {
+        let mut blocks = BlockTable::new(&g);
+        let mut alloc = PageAllocator::new(&g, AllocPolicy::Pcwd);
+        let mask = WayMask::all(g.ways);
+        for _ in 0..4096 {
+            alloc.allocate(&mut blocks, mask).unwrap();
+        }
+        blocks.free_blocks()
     });
 }
 
-fn bench_gc(c: &mut Criterion) {
-    c.bench_function("ftl/instant_gc_cycle", |b| {
-        let mut cfg = FtlConfig::evaluation_defaults();
-        cfg.geometry = Geometry::tiny();
-        cfg.gc.victims_per_trigger = 2;
-        b.iter_batched(
-            || {
-                let mut ftl = Ftl::new(cfg).unwrap();
-                let mut rng = StdRng::seed_from_u64(1);
-                ftl.precondition(0.85, 0.3, &mut rng).unwrap();
-                (ftl, rng)
-            },
-            |(mut ftl, mut rng)| {
-                for i in 0..256u64 {
-                    if ftl.needs_gc() {
-                        ftl.instant_gc(&mut rng).unwrap();
-                    }
-                    let _ = ftl.write(Lpn::new(i % ftl.logical_pages()));
-                }
-                ftl.stats().gc_relocations
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_gc() {
+    let mut cfg = FtlConfig::evaluation_defaults();
+    cfg.geometry = Geometry::tiny();
+    cfg.gc.victims_per_trigger = 2;
+    bench("ftl/instant_gc_cycle", 50, || {
+        let mut ftl = Ftl::new(cfg).unwrap();
+        let mut rng = DetRng::seed_from_u64(1);
+        ftl.precondition(0.85, 0.3, &mut rng).unwrap();
+        for i in 0..256u64 {
+            if ftl.needs_gc() {
+                ftl.instant_gc(&mut rng).unwrap();
+            }
+            let _ = ftl.write(Lpn::new(i % ftl.logical_pages()));
+        }
+        ftl.stats().gc_relocations
     });
 }
 
-fn bench_workloads(c: &mut Criterion) {
-    c.bench_function("workloads/zipf_sample_10k", |b| {
+fn bench_workloads() {
+    bench("workloads/zipf_sample_10k", 100, || {
         let z = Zipf::new(1 << 20, 1.1, 7);
-        let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..10_000 {
-                acc = acc.wrapping_add(z.sample(&mut rng));
-            }
-            acc
-        })
+        let mut rng = DetRng::seed_from_u64(2);
+        let mut acc = 0u64;
+        for _ in 0..10_000 {
+            acc = acc.wrapping_add(z.sample(&mut rng));
+        }
+        acc
     });
-    c.bench_function("workloads/generate_exchange1_1k", |b| {
-        b.iter(|| PaperWorkload::Exchange1.generate(1000, 1 << 28, std::hint::black_box(3)))
+    bench("workloads/generate_exchange1_1k", 100, || {
+        PaperWorkload::Exchange1
+            .generate(1000, 1 << 28, std::hint::black_box(3))
+            .len() as u64
     });
 }
 
-fn bench_mesh(c: &mut Criterion) {
-    c.bench_function("mesh/route_8x8", |b| {
+fn bench_mesh() {
+    bench("mesh/route_8x8", 1000, || {
         let m = Mesh::new(8, 8);
-        b.iter(|| {
-            let mut total = 0usize;
-            for ctrl in 0..8 {
-                for row in 0..8 {
-                    total += m
-                        .route(
-                            MeshEndpoint::Controller(ctrl),
-                            MeshEndpoint::Chip {
-                                row,
-                                col: (ctrl + row) % 8,
-                            },
-                        )
-                        .len();
-                }
+        let mut total = 0usize;
+        for ctrl in 0..8 {
+            for row in 0..8 {
+                total += m
+                    .route(
+                        MeshEndpoint::Controller(ctrl),
+                        MeshEndpoint::Chip {
+                            row,
+                            col: (ctrl + row) % 8,
+                        },
+                    )
+                    .len();
             }
-            total
-        })
+        }
+        total as u64
     });
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("stats/histogram_record_10k", |b| {
-        b.iter_batched(
-            Histogram::new,
-            |mut h| {
-                for i in 1..=10_000u64 {
-                    h.record(SimTime::from_ns(i * 37));
-                }
-                h.percentile(99.0)
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_histogram() {
+    bench("stats/histogram_record_10k", 100, || {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimTime::from_ns(i * 37));
+        }
+        h.percentile(99.0).as_ns()
     });
 }
 
-criterion_group!(
-    name = substrate;
-    config = Criterion::default().sample_size(20);
-    targets = bench_event_queue,
-    bench_resource,
-    bench_packet_codec,
-    bench_mapping,
-    bench_allocator,
-    bench_gc,
-    bench_workloads,
-    bench_mesh,
-    bench_histogram
-);
-criterion_main!(substrate);
+fn main() {
+    println!("substrate micro-benchmarks (mean over fixed iteration budget)");
+    bench_event_queue();
+    bench_resource();
+    bench_packet_codec();
+    bench_mapping();
+    bench_allocator();
+    bench_gc();
+    bench_workloads();
+    bench_mesh();
+    bench_histogram();
+}

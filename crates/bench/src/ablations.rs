@@ -100,7 +100,10 @@ pub fn abl_victim_policy() -> Experiment {
         "pages copied".to_string(),
         "write amplification".to_string(),
     ]);
-    for (label, policy) in [("greedy", VictimPolicy::Greedy), ("random", VictimPolicy::Random)] {
+    for (label, policy) in [
+        ("greedy", VictimPolicy::Greedy),
+        ("random", VictimPolicy::Random),
+    ] {
         let mut cfg = setup::gc_config(Architecture::PSsd, GcPolicy::Parallel);
         cfg.gc.victim_policy = policy;
         let trace = PaperWorkload::Build0.generate(
@@ -121,7 +124,9 @@ pub fn abl_victim_policy() -> Experiment {
         id: "Abl A3",
         title: "victim selection: greedy vs random (pSSD + PaGC)",
         tables: vec![(String::new(), t)],
-        notes: vec!["greedy moves fewer live pages per reclaimed block — lower WA, less bus traffic".into()],
+        notes: vec![
+            "greedy moves fewer live pages per reclaimed block — lower WA, less bus traffic".into(),
+        ],
     }
 }
 
@@ -135,7 +140,10 @@ pub fn abl_flash_generation() -> Experiment {
         "pSSD mean".to_string(),
         "pSSD speedup".to_string(),
     ]);
-    for (label, timing) in [("ULL (paper)", FlashTiming::ull()), ("TLC", FlashTiming::tlc())] {
+    for (label, timing) in [
+        ("ULL (paper)", FlashTiming::ull()),
+        ("TLC", FlashTiming::tlc()),
+    ] {
         let mut means = Vec::new();
         for arch in [Architecture::BaseSsd, Architecture::PSsd] {
             let mut cfg = setup::io_config(arch);

@@ -1,0 +1,5 @@
+//! Fault-injection sweep: RBER retry ladder, wire-BER recovery vs silent
+//! corruption, and a mid-run chip fail-stop (extension Ext E4).
+fn main() {
+    nssd_bench::reliability::fault_sweep().print();
+}

@@ -108,7 +108,13 @@ pub fn fig01_bandwidth_trend() -> Experiment {
 
 /// Table I: the ONFI NV-DDR4 signal inventory.
 pub fn table1_signals() -> Experiment {
-    let mut t = Table::new(vec!["symbol", "type", "pins", "description", "kept by pSSD"]);
+    let mut t = Table::new(vec![
+        "symbol",
+        "type",
+        "pins",
+        "description",
+        "kept by pSSD",
+    ]);
     for s in signals::nv_ddr4_signals() {
         t.row(vec![
             s.name.into(),
@@ -193,7 +199,10 @@ pub fn table2_parameters() -> Experiment {
         (
             "host pipes",
             "PCIe4 x4, bus/DRAM 8 GB/s".into(),
-            format!("{} B/s each (scaled to flash bw)", ours.host_params().pcie_bps),
+            format!(
+                "{} B/s each (scaled to flash bw)",
+                ours.host_params().pcie_bps
+            ),
         ),
     ];
     for (k, p, o) in rows {
@@ -222,8 +231,7 @@ pub fn fig08_packet_overhead() -> Experiment {
         let bytes = kb * 1024;
         let pkt = DataPacket::new(bytes);
         let base_t = base.read_occupancy(bytes as u64);
-        let pssd_t = pssd
-            .control_packet_time(nssd_flash::FlashCommand::ReadPage)
+        let pssd_t = pssd.control_packet_time(nssd_flash::FlashCommand::ReadPage)
             + pssd.read_out_time(bytes);
         t.row(vec![
             format!("{kb}KB"),
@@ -274,7 +282,11 @@ fn no_gc_reports() -> &'static SuiteReports {
 /// Fig 14: normalized average I/O latency improvement, no GC.
 pub fn fig14_io_latency_no_gc() -> Experiment {
     let mut headers = vec!["workload".to_string()];
-    headers.extend(evaluated_architectures().iter().map(|a| a.label().to_string()));
+    headers.extend(
+        evaluated_architectures()
+            .iter()
+            .map(|a| a.label().to_string()),
+    );
     let mut t = Table::new(headers);
     let mut per_arch_ratios: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for (w, reports) in no_gc_reports() {
@@ -313,15 +325,18 @@ pub fn fig15_throughput() -> Experiment {
     let cfg0 = setup::io_config(Architecture::BaseSsd);
     let footprint = setup::io_footprint(&cfg0);
     let mut headers = vec!["workload".to_string()];
-    headers.extend(evaluated_architectures().iter().map(|a| a.label().to_string()));
+    headers.extend(
+        evaluated_architectures()
+            .iter()
+            .map(|a| a.label().to_string()),
+    );
     let mut t = Table::new(headers);
     let mut per_arch_ratios: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for (w, trace) in setup::suite(requests, footprint) {
         let mut row = vec![w.name().to_string()];
         let mut base_kiops = 0.0f64;
         for (i, arch) in evaluated_architectures().into_iter().enumerate() {
-            let r = run_closed_loop(setup::io_config(arch), &trace, depth)
-                .expect("fig15 run");
+            let r = run_closed_loop(setup::io_config(arch), &trace, depth).expect("fig15 run");
             if i == 0 {
                 base_kiops = r.kiops();
             }
@@ -339,7 +354,9 @@ pub fn fig15_throughput() -> Experiment {
         id: "Fig 15",
         title: "throughput (KIOPS) at queue depth 64",
         tables: vec![(String::new(), t)],
-        notes: vec!["paper: pSSD +69%, pnSSD(+split) +82% vs baseSSD; 13.5x over NoSSD(pin)".into()],
+        notes: vec![
+            "paper: pSSD +69%, pnSSD(+split) +82% vs baseSSD; 13.5x over NoSSD(pin)".into(),
+        ],
     }
 }
 
@@ -357,7 +374,10 @@ pub fn fig03_channel_imbalance() -> Experiment {
         let windows = per_channel.first().map(|c| c.len()).unwrap_or(0);
         let cols = 48.min(windows.max(1));
         let stride = windows.div_ceil(cols).max(1);
-        let mut t = Table::new(vec!["channel".to_string(), "utilization over time".to_string()]);
+        let mut t = Table::new(vec![
+            "channel".to_string(),
+            "utilization over time".to_string(),
+        ]);
         const SHADES: &[u8] = b" .:-=+*#%@";
         for (ch, windows_of_ch) in per_channel.iter().enumerate().take(channels) {
             let mut line = String::new();
@@ -367,10 +387,9 @@ pub fn fig03_channel_imbalance() -> Experiment {
                 if lo >= windows {
                     break;
                 }
-                let avg: f64 =
-                    windows_of_ch[lo..hi].iter().sum::<f64>() / (hi - lo).max(1) as f64;
-                let idx = ((avg * (SHADES.len() - 1) as f64).round() as usize)
-                    .min(SHADES.len() - 1);
+                let avg: f64 = windows_of_ch[lo..hi].iter().sum::<f64>() / (hi - lo).max(1) as f64;
+                let idx =
+                    ((avg * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                 line.push(SHADES[idx] as char);
             }
             t.row(vec![format!("ch{ch}"), line]);
@@ -428,7 +447,9 @@ pub fn fig04_bandwidth_sweep() -> Experiment {
         id: "Fig 4",
         title: "performance vs flash channel bandwidth (baseSSD width sweep)",
         tables: vec![(String::new(), t)],
-        notes: vec!["paper: 2x bandwidth gives +85% on average, up to 6x for imbalanced workloads".into()],
+        notes: vec![
+            "paper: 2x bandwidth gives +85% on average, up to 6x for imbalanced workloads".into(),
+        ],
     }
 }
 

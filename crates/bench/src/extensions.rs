@@ -2,9 +2,7 @@
 //! motivation arguments: interconnect energy, hybrid ECC, and the Fig 9(b)
 //! channel-sliced strawman.
 
-use nssd_core::{
-    run_trace, run_trace_preconditioned, Architecture, EccConfig, SsdConfig,
-};
+use nssd_core::{run_trace, run_trace_preconditioned, Architecture, EccConfig, SsdConfig};
 use nssd_ftl::GcPolicy;
 use nssd_workloads::PaperWorkload;
 
@@ -25,11 +23,8 @@ pub fn ext_energy() -> Experiment {
         "vs baseSSD".to_string(),
     ]);
     let cfg0 = setup::io_config(Architecture::BaseSsd);
-    let trace = PaperWorkload::YcsbA.generate(
-        requests,
-        setup::io_footprint(&cfg0),
-        setup::EXPERIMENT_SEED,
-    );
+    let trace =
+        PaperWorkload::YcsbA.generate(requests, setup::io_footprint(&cfg0), setup::EXPERIMENT_SEED);
     let mut base_pj = 0.0f64;
     for arch in Architecture::with_strawmen() {
         let r = run_trace(setup::io_config(arch), &trace).expect("energy run");

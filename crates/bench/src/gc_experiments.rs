@@ -114,13 +114,9 @@ fn gc_trace_reports() -> &'static Vec<(GcRunKey, SimReport)> {
                         setup::gc_footprint(&cfg),
                         setup::EXPERIMENT_SEED ^ workload.name().len() as u64,
                     );
-                    let report = run_trace_preconditioned(
-                        cfg,
-                        &trace,
-                        setup::GC_FILL,
-                        setup::GC_OVERWRITE,
-                    )
-                    .expect("fig19 run");
+                    let report =
+                        run_trace_preconditioned(cfg, &trace, setup::GC_FILL, setup::GC_OVERWRITE)
+                            .expect("fig19 run");
                     out.push(((workload, arch, policy), report));
                 }
             }
@@ -190,7 +186,11 @@ pub fn fig20a_tail_latency() -> Experiment {
         "p99.9".to_string(),
         "max".to_string(),
     ]);
-    let base = lookup((PaperWorkload::RocksDb0, Architecture::BaseSsd, GcPolicy::Parallel));
+    let base = lookup((
+        PaperWorkload::RocksDb0,
+        Architecture::BaseSsd,
+        GcPolicy::Parallel,
+    ));
     let mut p99s = Vec::new();
     for (arch, policy) in [
         (Architecture::BaseSsd, GcPolicy::Parallel),

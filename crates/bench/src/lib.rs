@@ -17,6 +17,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod extensions;
 pub mod gc_experiments;
+pub mod reliability;
 pub mod setup;
 mod table;
 
@@ -44,6 +45,7 @@ pub fn all() -> Vec<NamedExperiment> {
         ("fig19", gc_experiments::fig19_gc_traces),
         ("fig20a", gc_experiments::fig20a_tail_latency),
         ("fig20b", gc_experiments::fig20b_gc_time),
+        ("fault_sweep", reliability::fault_sweep),
     ]
 }
 
@@ -72,8 +74,8 @@ mod tests {
     fn experiment_registry_is_complete() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
         for want in [
-            "fig01", "table1", "table2", "fig03", "fig04", "fig08", "fig14", "fig15",
-            "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b",
+            "fig01", "table1", "table2", "fig03", "fig04", "fig08", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19", "fig20a", "fig20b",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

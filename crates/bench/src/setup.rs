@@ -65,7 +65,12 @@ pub fn gc_footprint(cfg: &SsdConfig) -> u64 {
 pub fn suite(requests: usize, footprint: u64) -> Vec<(PaperWorkload, Trace)> {
     PaperWorkload::all()
         .into_iter()
-        .map(|w| (w, w.generate(requests, footprint, EXPERIMENT_SEED ^ w.name().len() as u64)))
+        .map(|w| {
+            (
+                w,
+                w.generate(requests, footprint, EXPERIMENT_SEED ^ w.name().len() as u64),
+            )
+        })
         .collect()
 }
 

@@ -70,7 +70,14 @@ impl Table {
             }
         }
         let mut s = String::new();
-        s.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        s.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         s.push('\n');
         for r in &self.rows {
             s.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -83,10 +90,7 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        s.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        s.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for r in &self.rows {
             s.push_str(&format!("| {} |\n", r.join(" | ")));
         }

@@ -3,6 +3,7 @@
 
 use core::fmt;
 
+use nssd_faults::FaultConfig;
 use nssd_flash::{FlashTiming, Geometry};
 use nssd_ftl::{AllocPolicy, GcConfig};
 use nssd_host::HostParams;
@@ -261,6 +262,9 @@ pub struct SsdConfig {
     pub pj_per_byte_hop: f64,
     /// RNG seed (victim randomization, GC destination choice).
     pub seed: u64,
+    /// Fault injection (off by default: a zero-rate configuration draws no
+    /// randomness and leaves every report bit-identical).
+    pub faults: FaultConfig,
 }
 
 impl SsdConfig {
@@ -285,6 +289,7 @@ impl SsdConfig {
             pj_per_byte_channel: 15.0,
             pj_per_byte_hop: 18.0,
             seed: 0x55D,
+            faults: FaultConfig::off(),
         }
     }
 
@@ -395,6 +400,15 @@ impl SsdConfig {
         }
         if self.ftl_cores == 0 {
             return Err("ftl_cores must be nonzero".into());
+        }
+        self.faults.validate()?;
+        if let Some(spec) = self.faults.chip_failure {
+            if spec.channel >= self.geometry.channels || spec.way >= self.geometry.ways {
+                return Err(format!(
+                    "chip_failure at ({},{}) outside geometry {}x{}",
+                    spec.channel, spec.way, self.geometry.channels, self.geometry.ways
+                ));
+            }
         }
         Ok(())
     }

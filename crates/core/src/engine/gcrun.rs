@@ -11,7 +11,7 @@ use nssd_ftl::{FtlError, GcPolicy, Lpn, WayMask};
 use nssd_interconnect::{ControlPacket, DataPacket, MeshEndpoint};
 use nssd_sim::SimTime;
 
-use super::{Event, SsdSim};
+use super::{reserve_with_link_faults, Event, SsdSim};
 use crate::{Architecture, Traffic};
 
 #[derive(Debug)]
@@ -118,7 +118,11 @@ impl SsdSim {
         let victims = self.ftl.select_gc_victims(victim_mask, &mut self.rng);
         if victims.is_empty() {
             if std::env::var("NSSD_GC_DEBUG").is_ok() {
-                eprintln!("DBG gc starved at {}: free={:.3}", self.now, self.ftl.free_ratio());
+                eprintln!(
+                    "DBG gc starved at {}: free={:.3}",
+                    self.now,
+                    self.ftl.free_ratio()
+                );
             }
             if self.gc.policy() == GcPolicy::Spatial {
                 self.ftl.end_spatial_epoch();
@@ -310,8 +314,10 @@ impl SsdSim {
             }
         };
         let chip = self.chip_index(addr);
+        let fault = self.sample_read_fault(addr);
         let read = self.chips[chip].reserve_read(addr.die, addr.plane, cmd_end);
-        self.queue.schedule(read.end, Event::GcCopyReadDone(c));
+        let ready = self.apply_read_fault(chip, addr, read.end, fault);
+        self.queue.schedule(ready, Event::GcCopyReadDone(c));
     }
 
     /// Destination way mask for one copy, per policy/architecture:
@@ -404,67 +410,90 @@ impl SsdSim {
                     ded.data_phase(page as u64),
                     tag,
                 );
+                // Both unframed bus legs can corrupt silently.
+                self.faults.raw_transfer(page as u64);
+                self.faults.raw_transfer(page as u64);
                 let decoded = out.end + self.ecc_gc_staged_delay();
                 let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
                 self.h_channels[dst_addr.channel as usize]
                     .reserve_tagged(
                         staged.end,
-                        ded.command_phase(FlashCommand::ProgramPage)
-                            + ded.data_phase(page as u64),
+                        ded.command_phase(FlashCommand::ProgramPage) + ded.data_phase(page as u64),
                         tag,
                     )
                     .end
             }
             Architecture::PSsd => {
                 let pkt = self.pkt_h.expect("packet bus");
-                let out = self.h_channels[src_addr.channel as usize].reserve_tagged(
+                let out = reserve_with_link_faults(
+                    &mut self.h_channels[src_addr.channel as usize],
+                    &mut self.faults,
                     self.now,
                     pkt.read_out_time(page),
+                    page as u64,
                     tag,
                 );
                 let decoded = out.end + self.ecc_gc_staged_delay();
                 let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
-                self.h_channels[dst_addr.channel as usize]
-                    .reserve_tagged(staged.end, pkt.write_in_time(page), tag)
-                    .end
+                reserve_with_link_faults(
+                    &mut self.h_channels[dst_addr.channel as usize],
+                    &mut self.faults,
+                    staged.end,
+                    pkt.write_in_time(page),
+                    page as u64,
+                    tag,
+                )
+                .end
             }
             Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced => {
                 let omni = self.omnibus.expect("omnibus");
                 // Controller-strict ECC forbids bypassing the controller's
                 // decoder, disabling direct flash-to-flash movement (§VIII).
-                let f2f = self
-                    .ecc_f2f_delay()
-                    .and_then(|ecc| omni.f2f_v_channel(src_addr.way, dst_addr.way).map(|v| (v, ecc)));
+                let f2f = self.ecc_f2f_delay().and_then(|ecc| {
+                    omni.f2f_v_channel(src_addr.way, dst_addr.way)
+                        .map(|v| (v, ecc))
+                });
                 match f2f {
                     Some((v, ecc)) => {
                         // Direct flash-to-flash over the shared v-channel:
                         // one traversal instead of two (§V-C).
-                        let msgs = omni.f2f_handshake_messages(
-                            src_addr.channel,
-                            dst_addr.channel,
-                            v,
-                        );
+                        let msgs =
+                            omni.f2f_handshake_messages(src_addr.channel, dst_addr.channel, v);
                         let hs = omni.handshake_time(msgs, self.cfg.ctrl_msg_latency);
                         let dur = self.pkt_v.expect("v bus").xfer_time(page);
-                        self.v_channels[v as usize]
-                            .reserve_tagged(self.now + hs, dur, tag)
-                            .end
-                            + ecc
+                        reserve_with_link_faults(
+                            &mut self.v_channels[v as usize],
+                            &mut self.faults,
+                            self.now + hs,
+                            dur,
+                            page as u64,
+                            tag,
+                        )
+                        .end + ecc
                     }
                     None => {
                         // Different column groups: staged through the
                         // controller over both h-channels.
                         let pkt = self.pkt_h.expect("h bus");
-                        let out = self.h_channels[src_addr.channel as usize].reserve_tagged(
+                        let out = reserve_with_link_faults(
+                            &mut self.h_channels[src_addr.channel as usize],
+                            &mut self.faults,
                             self.now,
                             pkt.read_out_time(page),
+                            page as u64,
                             tag,
                         );
                         let decoded = out.end + self.ecc_gc_staged_delay();
                         let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
-                        self.h_channels[dst_addr.channel as usize]
-                            .reserve_tagged(staged.end, pkt.write_in_time(page), tag)
-                            .end
+                        reserve_with_link_faults(
+                            &mut self.h_channels[dst_addr.channel as usize],
+                            &mut self.faults,
+                            staged.end,
+                            pkt.write_in_time(page),
+                            page as u64,
+                            tag,
+                        )
+                        .end
                     }
                 }
             }
@@ -499,6 +528,9 @@ impl SsdSim {
     }
 
     pub(crate) fn gc_copy_prog_done(&mut self, c: usize) {
+        let dst = self.gc.copies[c].dst.expect("destination allocated");
+        let pbn = self.cfg.geometry.pbn_of(dst);
+        self.note_programmed(pbn, self.now);
         self.gc.pages_copied += 1;
         self.copy_finished(c);
     }
@@ -532,8 +564,14 @@ impl SsdSim {
 
     pub(crate) fn gc_erase_done(&mut self, victim: usize) {
         let pbn = self.gc.victims[victim].pbn;
-        self.ftl.erase_block(pbn);
-        self.gc.blocks_erased += 1;
+        if self.faults.grown_bad_on_erase() {
+            // The erase failed: the block grows bad and is retired instead
+            // of rejoining the free pool (spare capacity absorbs the loss).
+            self.ftl.retire_block(pbn);
+        } else {
+            self.ftl.erase_block(pbn);
+            self.gc.blocks_erased += 1;
+        }
         debug_assert!(self.gc.victims_left > 0);
         self.gc.victims_left -= 1;
         if self.gc.victims_left == 0 {
@@ -561,8 +599,7 @@ impl SsdSim {
         }
         // Hysteresis: chain events until the stop watermark recovers, so GC
         // runs in bounded phases with quiet periods in between.
-        if self.now >= self.gc.starved_until
-            && self.ftl.free_ratio() < self.cfg.gc.stop_free_ratio
+        if self.now >= self.gc.starved_until && self.ftl.free_ratio() < self.cfg.gc.stop_free_ratio
         {
             self.start_gc();
         }

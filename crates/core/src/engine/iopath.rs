@@ -10,7 +10,7 @@ use nssd_host::IoOp;
 use nssd_interconnect::{ControlPacket, MeshEndpoint};
 use nssd_sim::SimTime;
 
-use super::{Event, SsdSim};
+use super::{reserve_with_link_faults, Event, SsdSim};
 use crate::{Architecture, Traffic};
 
 /// Which Omnibus path a transfer uses.
@@ -133,9 +133,12 @@ impl SsdSim {
         let v_start = self.v_channels[v].earliest_start(v_at);
         // Both channels move ~1 byte per ns (8-bit @ 1000 MT/s); equalize
         // finish times: h_start + bytes_h = v_start + (page - bytes_h).
-        let ns_per_byte = 1_000.0 / (self.cfg.channel_mts as f64 * self.cfg.base_width_bits as f64 / 8.0);
+        let ns_per_byte =
+            1_000.0 / (self.cfg.channel_mts as f64 * self.cfg.base_width_bits as f64 / 8.0);
         let skew_bytes = (v_start.as_ns() as f64 - h_start.as_ns() as f64) / ns_per_byte;
-        let bytes_h = ((page as f64 + skew_bytes) / 2.0).round().clamp(0.0, page as f64) as u32;
+        let bytes_h = ((page as f64 + skew_bytes) / 2.0)
+            .round()
+            .clamp(0.0, page as f64) as u32;
         let bytes_h = if bytes_h < MIN_CHUNK {
             0
         } else if page - bytes_h < MIN_CHUNK {
@@ -199,8 +202,10 @@ impl SsdSim {
             }
         };
         let chip = self.chip_index(addr);
+        let fault = self.sample_read_fault(addr);
         let read = self.chips[chip].reserve_read(addr.die, addr.plane, cmd_end);
-        self.queue.schedule(read.end, Event::ArrayDone(t));
+        let ready = self.apply_read_fault(chip, addr, read.end, fault);
+        self.queue.schedule(ready, Event::ArrayDone(t));
     }
 
     fn start_write_data_in(&mut self, t: usize, addr: PageAddr) {
@@ -212,6 +217,9 @@ impl SsdSim {
                 let dur =
                     ded.command_phase(FlashCommand::ProgramPage) + ded.data_phase(page as u64);
                 let r = self.h_channels[addr.channel as usize].reserve_tagged(self.now, dur, tag);
+                // No frame check on the dedicated-signal interface: wire
+                // corruption is programmed as-is, silently.
+                self.faults.raw_transfer(page as u64);
                 self.trans[t].halves_left = 1;
                 self.queue.schedule(r.end, Event::XferHalfDone(t));
             }
@@ -221,7 +229,14 @@ impl SsdSim {
                 // chip-to-chip only, so host I/O cannot use them.
                 let pkt = self.pkt_h.expect("packet bus");
                 let dur = pkt.write_in_time(page);
-                let r = self.h_channels[addr.channel as usize].reserve_tagged(self.now, dur, tag);
+                let r = reserve_with_link_faults(
+                    &mut self.h_channels[addr.channel as usize],
+                    &mut self.faults,
+                    self.now,
+                    dur,
+                    page as u64,
+                    tag,
+                );
                 self.trans[t].halves_left = 1;
                 self.queue.schedule(r.end, Event::XferHalfDone(t));
             }
@@ -229,11 +244,24 @@ impl SsdSim {
                 let dur_h = self.pkt_h.expect("h bus").write_in_time(page);
                 let dur_v = self.pkt_v.expect("v bus").write_in_time(page);
                 let r = match self.choose_pn_path(addr, self.now) {
-                    PnPath::H => self.h_channels[addr.channel as usize]
-                        .reserve_tagged(self.now, dur_h, tag),
+                    PnPath::H => reserve_with_link_faults(
+                        &mut self.h_channels[addr.channel as usize],
+                        &mut self.faults,
+                        self.now,
+                        dur_h,
+                        page as u64,
+                        tag,
+                    ),
                     PnPath::V => {
                         let (v, at) = self.v_ready(addr, self.now);
-                        self.v_channels[v].reserve_tagged(at, dur_v, tag)
+                        reserve_with_link_faults(
+                            &mut self.v_channels[v],
+                            &mut self.faults,
+                            at,
+                            dur_v,
+                            page as u64,
+                            tag,
+                        )
                     }
                 };
                 self.trans[t].halves_left = 1;
@@ -246,15 +274,31 @@ impl SsdSim {
                 if bytes_h > 0 {
                     let dur = self.pkt_h.expect("h bus").write_in_time(bytes_h);
                     ends.push(
-                        self.h_channels[addr.channel as usize]
-                            .reserve_tagged(self.now, dur, tag)
-                            .end,
+                        reserve_with_link_faults(
+                            &mut self.h_channels[addr.channel as usize],
+                            &mut self.faults,
+                            self.now,
+                            dur,
+                            bytes_h as u64,
+                            tag,
+                        )
+                        .end,
                     );
                     halves += 1;
                 }
                 if bytes_v > 0 {
                     let dur = self.pkt_v.expect("v bus").write_in_time(bytes_v);
-                    ends.push(self.v_channels[v].reserve_tagged(v_at, dur, tag).end);
+                    ends.push(
+                        reserve_with_link_faults(
+                            &mut self.v_channels[v],
+                            &mut self.faults,
+                            v_at,
+                            dur,
+                            bytes_v as u64,
+                            tag,
+                        )
+                        .end,
+                    );
                     halves += 1;
                 }
                 self.trans[t].halves_left = halves;
@@ -291,6 +335,8 @@ impl SsdSim {
             (tr.addr, tr.is_read)
         };
         if !is_read {
+            let pbn = self.cfg.geometry.pbn(addr.block_addr());
+            self.note_programmed(pbn, self.now);
             self.queue.schedule(self.now, Event::PageDone(t));
             return;
         }
@@ -301,13 +347,21 @@ impl SsdSim {
                 let ded = self.ded.expect("dedicated bus");
                 let dur = ded.data_phase(page as u64);
                 let r = self.h_channels[addr.channel as usize].reserve_tagged(self.now, dur, tag);
+                self.faults.raw_transfer(page as u64);
                 self.trans[t].halves_left = 1;
                 self.queue.schedule(r.end, Event::XferHalfDone(t));
             }
             Architecture::PSsd | Architecture::ChannelSliced => {
                 let pkt = self.pkt_h.expect("packet bus");
                 let dur = pkt.read_out_time(page);
-                let r = self.h_channels[addr.channel as usize].reserve_tagged(self.now, dur, tag);
+                let r = reserve_with_link_faults(
+                    &mut self.h_channels[addr.channel as usize],
+                    &mut self.faults,
+                    self.now,
+                    dur,
+                    page as u64,
+                    tag,
+                );
                 self.trans[t].halves_left = 1;
                 self.queue.schedule(r.end, Event::XferHalfDone(t));
             }
@@ -315,11 +369,24 @@ impl SsdSim {
                 let dur_h = self.pkt_h.expect("h bus").read_out_time(page);
                 let dur_v = self.pkt_v.expect("v bus").read_out_time(page);
                 let r = match self.choose_pn_path(addr, self.now) {
-                    PnPath::H => self.h_channels[addr.channel as usize]
-                        .reserve_tagged(self.now, dur_h, tag),
+                    PnPath::H => reserve_with_link_faults(
+                        &mut self.h_channels[addr.channel as usize],
+                        &mut self.faults,
+                        self.now,
+                        dur_h,
+                        page as u64,
+                        tag,
+                    ),
                     PnPath::V => {
                         let (v, at) = self.v_ready(addr, self.now);
-                        self.v_channels[v].reserve_tagged(at, dur_v, tag)
+                        reserve_with_link_faults(
+                            &mut self.v_channels[v],
+                            &mut self.faults,
+                            at,
+                            dur_v,
+                            page as u64,
+                            tag,
+                        )
                     }
                 };
                 self.trans[t].halves_left = 1;
@@ -332,15 +399,31 @@ impl SsdSim {
                 if bytes_h > 0 {
                     let dur = self.pkt_h.expect("h bus").read_out_time(bytes_h);
                     ends.push(
-                        self.h_channels[addr.channel as usize]
-                            .reserve_tagged(self.now, dur, tag)
-                            .end,
+                        reserve_with_link_faults(
+                            &mut self.h_channels[addr.channel as usize],
+                            &mut self.faults,
+                            self.now,
+                            dur,
+                            bytes_h as u64,
+                            tag,
+                        )
+                        .end,
                     );
                     halves += 1;
                 }
                 if bytes_v > 0 {
                     let dur = self.pkt_v.expect("v bus").read_out_time(bytes_v);
-                    ends.push(self.v_channels[v].reserve_tagged(v_at, dur, tag).end);
+                    ends.push(
+                        reserve_with_link_faults(
+                            &mut self.v_channels[v],
+                            &mut self.faults,
+                            v_at,
+                            dur,
+                            bytes_v as u64,
+                            tag,
+                        )
+                        .end,
+                    );
                     halves += 1;
                 }
                 self.trans[t].halves_left = halves;
@@ -383,11 +466,9 @@ impl SsdSim {
             debug_assert_eq!(op, IoOp::Read);
             // Controller ECC decode (if modeled) gates the host DMA.
             let decoded = self.now + self.ecc_host_read_delay();
-            let out = self.host.outbound(
-                decoded,
-                self.page_bytes() as u64,
-                Traffic::HostRead.tag(),
-            );
+            let out =
+                self.host
+                    .outbound(decoded, self.page_bytes() as u64, Traffic::HostRead.tag());
             self.queue.schedule(out.end, Event::PageDone(t));
         } else {
             let chip = self.chip_index(addr);

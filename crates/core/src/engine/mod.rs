@@ -9,17 +9,17 @@
 mod gcrun;
 mod iopath;
 
+use nssd_faults::{FaultEngine, ReadFault};
 use nssd_flash::{FlashChip, PageAddr, Ppn};
 use nssd_ftl::{Ftl, FtlConfig, FtlError, Lpn};
 use nssd_host::{HostPipes, IoOp, IoRequest};
 use nssd_interconnect::{DedicatedBus, Mesh, MeshParams, Omnibus, PacketBus};
-use nssd_sim::{EventQueue, Histogram, Resource, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nssd_sim::DetRng;
+use nssd_sim::{EventQueue, Histogram, Reservation, Resource, SimTime};
 
 use crate::{
-    Architecture, ChannelUtilSummary, EccMode, EnergySummary, GcSummary, LatencySummary,
-    SimReport, SsdConfig, Traffic,
+    Architecture, ChannelUtilSummary, EccMode, EnergySummary, GcSummary, LatencySummary, SimReport,
+    SsdConfig, Traffic,
 };
 
 pub(crate) use gcrun::GcRuntime;
@@ -50,6 +50,8 @@ enum Event {
     GcCopyProgDone(usize),
     /// GC: victim block erase finished.
     GcEraseDone(usize),
+    /// The configured whole-chip failure fires.
+    ChipFail,
 }
 
 #[derive(Debug)]
@@ -132,7 +134,13 @@ pub struct SsdSim {
     pub(crate) inflight_io: usize,
     // GC.
     pub(crate) gc: GcRuntime,
-    pub(crate) rng: StdRng,
+    pub(crate) rng: DetRng,
+    // Fault injection.
+    pub(crate) faults: FaultEngine,
+    /// tPROG completion time per block (indexed by raw physical block
+    /// number); feeds the retention term of the bit-error model at
+    /// block granularity.
+    pub(crate) programmed_at: Vec<SimTime>,
     // Statistics.
     all_lat: Histogram,
     read_lat: Histogram,
@@ -153,7 +161,7 @@ impl SsdSim {
     pub fn new(cfg: SsdConfig) -> Result<Self, String> {
         cfg.validate()?;
         let g = cfg.geometry;
-        let ftl = Ftl::new(FtlConfig {
+        let mut ftl = Ftl::new(FtlConfig {
             geometry: g,
             alloc_policy: cfg.alloc_policy,
             op_ratio: cfg.op_ratio,
@@ -161,6 +169,12 @@ impl SsdSim {
             gc: cfg.gc,
         })
         .map_err(|e| e.to_string())?;
+        // Factory bad blocks are retired before the device ever serves I/O;
+        // with a zero rate this draws no randomness at all.
+        let mut faults = FaultEngine::new(cfg.faults);
+        let marked =
+            ftl.mark_manufacture_bad(cfg.faults.bad_blocks.manufacture_rate, faults.rng_mut());
+        faults.note_manufacture_bad(marked as u64);
 
         let chips = (0..g.chip_count())
             .map(|_| FlashChip::new(&g, cfg.timing))
@@ -193,7 +207,9 @@ impl SsdSim {
             pending_write_spans: Vec::new(),
             inflight_io: 0,
             gc: GcRuntime::new(cfg.gc.policy),
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: DetRng::seed_from_u64(cfg.seed),
+            faults,
+            programmed_at: vec![SimTime::ZERO; g.block_count() as usize],
             all_lat: Histogram::new(),
             read_lat: Histogram::new(),
             write_lat: Histogram::new(),
@@ -249,7 +265,7 @@ impl SsdSim {
     }
 
     /// Deterministic RNG access (shares the simulator seed).
-    pub fn rng_mut(&mut self) -> &mut StdRng {
+    pub fn rng_mut(&mut self) -> &mut DetRng {
         &mut self.rng
     }
 
@@ -317,6 +333,10 @@ impl SsdSim {
         self.closed_loop_depth = depth;
         self.arrivals = drive.requests().to_vec();
 
+        if let Some(spec) = self.cfg.faults.chip_failure {
+            self.queue.schedule(spec.at, Event::ChipFail);
+        }
+
         match depth {
             Some(d) => {
                 let n = d.min(self.arrivals.len());
@@ -354,7 +374,71 @@ impl SsdSim {
             Event::GcCopyXferDone(c) => self.gc_copy_xfer_done(c),
             Event::GcCopyProgDone(c) => self.gc_copy_prog_done(c),
             Event::GcEraseDone(v) => self.gc_erase_done(v),
+            Event::ChipFail => self.on_chip_fail(),
         }
+    }
+
+    /// Handles the scheduled fail-stop chip failure: every live page on the
+    /// chip is relocated onto the survivors (or lost when no space remains)
+    /// and the device continues degraded. The rebuild itself is not
+    /// time-charged — the interesting signal is the capacity/throughput
+    /// state after the event, not the rebuild transient.
+    fn on_chip_fail(&mut self) {
+        let spec = self
+            .cfg
+            .faults
+            .chip_failure
+            .expect("ChipFail only scheduled with a spec");
+        let out = self.ftl.fail_chip(spec.channel, spec.way);
+        self.faults
+            .note_chip_failure(out.pages_remapped, out.pages_lost);
+    }
+
+    /// Samples the bit-error outcome of reading the page at `addr`, looking
+    /// up the block's wear and retention age. Free (no RNG draw) when faults
+    /// are off.
+    pub(crate) fn sample_read_fault(&mut self, addr: PageAddr) -> ReadFault {
+        if !self.faults.active() {
+            return ReadFault::NONE;
+        }
+        let pbn = self.cfg.geometry.pbn(addr.block_addr());
+        let pe = self.ftl.blocks().meta(pbn).erase_count();
+        let retention = self
+            .now
+            .saturating_sub(self.programmed_at[pbn.raw() as usize]);
+        self.faults
+            .page_read(self.page_bytes() as u64 * 8, pe, retention)
+    }
+
+    /// Chains a faulty read's extra senses (full tR each, back-to-back on
+    /// the plane) and the soft-decode latency after the base sense; returns
+    /// when the corrected data is actually available. Uncorrectable pages
+    /// still pay the full ladder — the device only learns the read failed
+    /// after exhausting it.
+    pub(crate) fn apply_read_fault(
+        &mut self,
+        chip: usize,
+        addr: PageAddr,
+        read_end: SimTime,
+        fault: ReadFault,
+    ) -> SimTime {
+        let mut end = read_end;
+        if fault.extra_senses > 0 {
+            end = self.chips[chip]
+                .reserve_read_retries(addr.die, addr.plane, end, fault.extra_senses)
+                .expect("extra_senses > 0 reserves at least one sense")
+                .end;
+        }
+        if fault.soft_decode {
+            end += self.cfg.faults.bit_error.soft_decode;
+        }
+        end
+    }
+
+    /// Records that block `pbn`'s most recent program finished at `at`
+    /// (block-granularity retention tracking).
+    pub(crate) fn note_programmed(&mut self, pbn: nssd_flash::Pbn, at: SimTime) {
+        self.programmed_at[pbn.raw() as usize] = at;
     }
 
     fn on_arrive(&mut self, i: usize) {
@@ -388,7 +472,8 @@ impl SsdSim {
                     .host
                     .inbound(at, r.len as u64, Traffic::HostWrite.tag());
                 self.queue.schedule(landed.end, Event::IssuePages(req_id));
-                self.pending_write_spans.push((req_id, first_page, pages, 0));
+                self.pending_write_spans
+                    .push((req_id, first_page, pages, 0));
             }
         }
     }
@@ -418,8 +503,12 @@ impl SsdSim {
                         RETRY_DELAY * MAX_RETRIES as u64,
                         self.now
                     );
-                    self.pending_write_spans
-                        .push((req, first_page + p as u64, pages - p, retries + 1));
+                    self.pending_write_spans.push((
+                        req,
+                        first_page + p as u64,
+                        pages - p,
+                        retries + 1,
+                    ));
                     self.queue
                         .schedule_after(self.now, RETRY_DELAY, Event::IssuePages(req));
                     self.maybe_start_gc();
@@ -580,7 +669,8 @@ impl SsdSim {
             }
         };
         let pj_to_mj = 1e-9;
-        let bytes_of = |res: &Resource, bps: u64| res.busy_total().as_ns() as f64 * bps as f64 / 1e9;
+        let bytes_of =
+            |res: &Resource, bps: u64| res.busy_total().as_ns() as f64 * bps as f64 / 1e9;
         let h_bps = self.cfg.h_bus().bytes_per_sec();
         let v_bps = self.cfg.v_bus().bytes_per_sec();
         let energy = EnergySummary {
@@ -631,6 +721,28 @@ impl SsdSim {
             wear: self.ftl.blocks().wear_summary(),
             channel_util: util,
             energy,
+            reliability: self.faults.stats(),
         }
     }
+}
+
+/// Reserves one packetized data transfer on `res`, charging any
+/// CRC-detected retransmission (NAK signalling, back-off, then a full
+/// re-send) on the same channel timeline. With faults off this is exactly
+/// one clean reservation and draws no randomness.
+pub(crate) fn reserve_with_link_faults(
+    res: &mut Resource,
+    faults: &mut FaultEngine,
+    at: SimTime,
+    dur: SimTime,
+    bytes: u64,
+    tag: usize,
+) -> Reservation {
+    let out = faults.crc_transfer(bytes);
+    let link = faults.config().link;
+    let mut r = res.reserve_tagged(at, dur, tag);
+    for _ in 1..out.attempts {
+        r = res.reserve_tagged(r.end + link.nak + link.backoff, dur, tag);
+    }
+    r
 }

@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use nssd_faults::ReliabilityStats;
 use nssd_ftl::{FtlStats, WearSummary};
 use nssd_sim::{Histogram, RunningStats, SimTime};
 
@@ -172,6 +173,9 @@ pub struct SimReport {
     /// End-of-run wear statistics (erase counts; spatial GC's epoch swap
     /// levels the per-way means).
     pub wear: WearSummary,
+    /// Reliability counters from fault injection (all zero when faults are
+    /// off).
+    pub reliability: ReliabilityStats,
 }
 
 impl SimReport {
@@ -208,6 +212,9 @@ impl fmt::Display for SimReport {
                 "  gc: {} events, mean {}, {} copies, {} erases",
                 self.gc.events, self.gc.mean_time, self.gc.pages_copied, self.gc.blocks_erased
             )?;
+        }
+        if self.reliability.any_events() {
+            writeln!(f, "  reliability: {}", self.reliability)?;
         }
         Ok(())
     }
@@ -249,6 +256,7 @@ mod tests {
                 std_dev: 0.0,
                 per_way_mean: vec![0.0],
             },
+            reliability: ReliabilityStats::default(),
         }
     }
 

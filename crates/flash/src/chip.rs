@@ -76,6 +76,28 @@ impl FlashChip {
         self.plane_res[idx].reserve(at, dur)
     }
 
+    /// Reserves the retry senses of a faulty page read: `extra` further
+    /// full-tR passes chained directly after the initial sense (the plane's
+    /// FIFO timeline makes them contiguous when reserved back-to-back).
+    /// Counts each sense as a read op. Returns the reservation of the final
+    /// sense, or `None` when `extra` is 0.
+    pub fn reserve_read_retries(
+        &mut self,
+        die: u32,
+        plane: u32,
+        at: SimTime,
+        extra: u32,
+    ) -> Option<Reservation> {
+        let mut last = None;
+        let mut at = at;
+        for _ in 0..extra {
+            let r = self.reserve_read(die, plane, at);
+            at = r.end;
+            last = Some(r);
+        }
+        last
+    }
+
     /// Reserves a page program (tPROG) on `(die, plane)`.
     pub fn reserve_program(&mut self, die: u32, plane: u32, at: SimTime) -> Reservation {
         self.op_counts[1] += 1;
@@ -185,5 +207,20 @@ mod tests {
     #[test]
     fn two_vpage_registers_by_default() {
         assert_eq!(chip().vpage_registers(), 2);
+    }
+
+    #[test]
+    fn retry_senses_chain_contiguously() {
+        let mut c = chip();
+        let first = c.reserve_read(0, 0, SimTime::ZERO);
+        let last = c.reserve_read_retries(0, 0, first.end, 3).unwrap();
+        // 3 extra senses back-to-back: total array occupancy is 4 × tR.
+        assert_eq!(last.end, SimTime::from_us(12));
+        assert_eq!(c.op_counts().0, 4);
+        assert!(c.reserve_read_retries(0, 0, last.end, 0).is_none());
+        assert_eq!(
+            FlashTiming::ull().read_with_retries(3),
+            SimTime::from_us(12)
+        );
     }
 }

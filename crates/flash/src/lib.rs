@@ -39,63 +39,82 @@ pub use geometry::{BlockAddr, Geometry, GeometryError, PageAddr, Pbn, Ppn};
 pub use timing::FlashTiming;
 
 #[cfg(test)]
+const CASES: usize = if cfg!(feature = "heavy-tests") {
+    8192
+} else {
+    256
+};
+
+#[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use nssd_sim::{DetRng, Rng};
 
-    fn arb_geometry() -> impl Strategy<Value = Geometry> {
-        (1u32..6, 1u32..6, 1u32..3, 1u32..5, 1u32..20, 1u32..40).prop_map(
-            |(channels, ways, dies, planes, blocks, pages)| Geometry {
-                channels,
-                ways,
-                dies,
-                planes,
-                blocks_per_plane: blocks,
-                pages_per_block: pages,
-                page_bytes: 16 * 1024,
-            },
-        )
+    fn arb_geometry(rng: &mut DetRng) -> Geometry {
+        Geometry {
+            channels: rng.gen_range(1..6u64) as u32,
+            ways: rng.gen_range(1..6u64) as u32,
+            dies: rng.gen_range(1..3u64) as u32,
+            planes: rng.gen_range(1..5u64) as u32,
+            blocks_per_plane: rng.gen_range(1..20u64) as u32,
+            pages_per_block: rng.gen_range(1..40u64) as u32,
+            page_bytes: 16 * 1024,
+        }
     }
 
-    proptest! {
-        #[test]
-        fn ppn_roundtrip(g in arb_geometry(), raw in 0u64..1_000_000) {
-            let raw = raw % g.page_count();
+    #[test]
+    fn ppn_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(0xFFA5);
+        for _ in 0..CASES {
+            let g = arb_geometry(&mut rng);
+            let raw = rng.gen_range(0..1_000_000u64) % g.page_count();
             let ppn = Ppn::new(raw);
             let addr = g.page_addr(ppn);
-            prop_assert_eq!(g.ppn(addr), ppn);
-            prop_assert!(addr.channel < g.channels);
-            prop_assert!(addr.way < g.ways);
-            prop_assert!(addr.die < g.dies);
-            prop_assert!(addr.plane < g.planes);
-            prop_assert!(addr.block < g.blocks_per_plane);
-            prop_assert!(addr.page < g.pages_per_block);
+            assert_eq!(g.ppn(addr), ppn);
+            assert!(addr.channel < g.channels);
+            assert!(addr.way < g.ways);
+            assert!(addr.die < g.dies);
+            assert!(addr.plane < g.planes);
+            assert!(addr.block < g.blocks_per_plane);
+            assert!(addr.page < g.pages_per_block);
         }
+    }
 
-        #[test]
-        fn pbn_roundtrip(g in arb_geometry(), raw in 0u64..1_000_000) {
-            let raw = raw % g.block_count();
+    #[test]
+    fn pbn_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(0x9B2);
+        for _ in 0..CASES {
+            let g = arb_geometry(&mut rng);
+            let raw = rng.gen_range(0..1_000_000u64) % g.block_count();
             let pbn = Pbn::new(raw);
             let addr = g.block_addr(pbn);
-            prop_assert_eq!(g.pbn(addr), pbn);
+            assert_eq!(g.pbn(addr), pbn);
         }
+    }
 
-        #[test]
-        fn pbn_of_consistent_with_unpack(g in arb_geometry(), raw in 0u64..1_000_000) {
-            let raw = raw % g.page_count();
+    #[test]
+    fn pbn_of_consistent_with_unpack() {
+        let mut rng = DetRng::seed_from_u64(0x77B);
+        for _ in 0..CASES {
+            let g = arb_geometry(&mut rng);
+            let raw = rng.gen_range(0..1_000_000u64) % g.page_count();
             let ppn = Ppn::new(raw);
             let page = g.page_addr(ppn);
             let pbn = g.pbn_of(ppn);
-            prop_assert_eq!(g.block_addr(pbn), page.block_addr());
-            prop_assert_eq!(g.ppn_in_block(pbn, page.page), ppn);
+            assert_eq!(g.block_addr(pbn), page.block_addr());
+            assert_eq!(g.ppn_in_block(pbn, page.page), ppn);
         }
+    }
 
-        #[test]
-        fn counts_are_products(g in arb_geometry()) {
-            prop_assert_eq!(g.page_count(), g.block_count() * g.pages_per_block as u64);
-            prop_assert_eq!(g.block_count(), g.plane_count() * g.blocks_per_plane as u64);
-            prop_assert_eq!(g.plane_count(), g.chip_count() * (g.dies * g.planes) as u64);
-            prop_assert!(g.validate().is_ok());
+    #[test]
+    fn counts_are_products() {
+        let mut rng = DetRng::seed_from_u64(0xC0DE);
+        for _ in 0..CASES {
+            let g = arb_geometry(&mut rng);
+            assert_eq!(g.page_count(), g.block_count() * g.pages_per_block as u64);
+            assert_eq!(g.block_count(), g.plane_count() * g.blocks_per_plane as u64);
+            assert_eq!(g.plane_count(), g.chip_count() * (g.dies * g.planes) as u64);
+            assert!(g.validate().is_ok());
         }
     }
 }

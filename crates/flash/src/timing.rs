@@ -58,6 +58,17 @@ impl FlashTiming {
             erase,
         }
     }
+
+    /// Duration of one read-retry sense: a full re-read of the array with
+    /// shifted reference voltages, so each retry costs another tR.
+    pub const fn retry_sense(&self) -> SimTime {
+        self.read
+    }
+
+    /// Total array time of a read that needed `extra_senses` retry passes.
+    pub fn read_with_retries(&self, extra_senses: u32) -> SimTime {
+        self.read + self.retry_sense().scale(extra_senses as u64, 1)
+    }
 }
 
 impl Default for FlashTiming {

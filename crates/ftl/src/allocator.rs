@@ -254,8 +254,8 @@ impl PageAllocator {
                     let ppn = blocks
                         .program_next_page(pbn)
                         .expect("fresh block must accept a page");
-                    self.open[unit] = (blocks.meta(pbn).state() != crate::BlockState::Full)
-                        .then_some(pbn);
+                    self.open[unit] =
+                        (blocks.meta(pbn).state() != crate::BlockState::Full).then_some(pbn);
                     return Ok(ppn);
                 }
             }
@@ -267,6 +267,18 @@ impl PageAllocator {
     /// Number of pages allocated so far.
     pub fn allocated(&self) -> u64 {
         self.seq // upper bound; equals allocations when no unit was skipped
+    }
+
+    /// Drops every open-block frontier whose block satisfies `retire`.
+    /// Open blocks accept programs regardless of free-list state, so a
+    /// fail-stop chip removal must close its frontiers or the allocator
+    /// would keep writing into the dead chip.
+    pub fn close_open_blocks(&mut self, retire: impl Fn(nssd_flash::Pbn) -> bool) {
+        for slot in &mut self.open {
+            if slot.is_some_and(&retire) {
+                *slot = None;
+            }
+        }
     }
 }
 

@@ -122,9 +122,7 @@ impl BlockTable {
         let planes = geometry.plane_count() as usize;
         let bpp = geometry.blocks_per_plane;
         // Stack with block 0 on top so allocation order is deterministic.
-        let free = (0..planes)
-            .map(|_| (0..bpp).rev().collect())
-            .collect();
+        let free = (0..planes).map(|_| (0..bpp).rev().collect()).collect();
         BlockTable {
             geometry: *geometry,
             blocks,
@@ -171,9 +169,8 @@ impl BlockTable {
     pub fn take_free_block(&mut self, plane_unit: usize) -> Option<Pbn> {
         let local = self.free[plane_unit].pop()?;
         self.free_total -= 1;
-        let pbn = Pbn::new(
-            plane_unit as u64 * self.geometry.blocks_per_plane as u64 + local as u64,
-        );
+        let pbn =
+            Pbn::new(plane_unit as u64 * self.geometry.blocks_per_plane as u64 + local as u64);
         let meta = &mut self.blocks[pbn.raw() as usize];
         debug_assert_eq!(meta.state, BlockState::Free);
         meta.state = BlockState::Open;
@@ -296,6 +293,33 @@ impl BlockTable {
             .expect("free block must be in its plane's free list");
         self.free[unit].swap_remove(pos);
         self.free_total -= 1;
+        self.retired += 1;
+    }
+
+    /// Retires `pbn` regardless of state — the fail-stop path for chip
+    /// failures, where Open and Full blocks must also be pulled out of
+    /// service. Valid pages are expected to have been relocated (or
+    /// written off) by the caller; the bitmap is cleared here. No-op for
+    /// already-Bad blocks.
+    pub fn force_retire(&mut self, pbn: Pbn) {
+        let unit = self.plane_unit_of(pbn);
+        let pages = self.geometry.pages_per_block;
+        let meta = &mut self.blocks[pbn.raw() as usize];
+        if meta.state == BlockState::Bad {
+            return;
+        }
+        if meta.state == BlockState::Free {
+            let local = (pbn.raw() % self.geometry.blocks_per_plane as u64) as u32;
+            let pos = self.free[unit]
+                .iter()
+                .position(|&b| b == local)
+                .expect("free block must be in its plane's free list");
+            self.free[unit].swap_remove(pos);
+            self.free_total -= 1;
+        }
+        meta.valid = vec![0; pages.div_ceil(64) as usize];
+        meta.valid_count = 0;
+        meta.state = BlockState::Bad;
         self.retired += 1;
     }
 
@@ -503,6 +527,26 @@ mod tests {
         let mut t = table();
         let pbn = t.take_free_block(0).unwrap();
         t.mark_bad(pbn);
+    }
+
+    #[test]
+    fn force_retire_handles_every_state() {
+        let mut t = table();
+        let before = t.free_blocks();
+        // Free block: leaves the free list.
+        t.force_retire(Pbn::new(5));
+        assert_eq!(t.meta(Pbn::new(5)).state(), BlockState::Bad);
+        assert_eq!(t.free_blocks(), before - 1);
+        // Open block with a live page: bitmap is cleared on retire.
+        let pbn = t.take_free_block(0).unwrap();
+        t.program_next_page(pbn).unwrap();
+        t.force_retire(pbn);
+        assert_eq!(t.meta(pbn).state(), BlockState::Bad);
+        assert_eq!(t.meta(pbn).valid_count(), 0);
+        // Already-Bad block: idempotent.
+        let retired = t.retired_blocks();
+        t.force_retire(pbn);
+        assert_eq!(t.retired_blocks(), retired);
     }
 
     #[test]

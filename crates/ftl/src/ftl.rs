@@ -9,10 +9,10 @@
 use core::fmt;
 
 use nssd_flash::{Geometry, GeometryError, Pbn, Ppn};
-use rand::Rng;
+use nssd_sim::Rng;
 
 use crate::{
-    select_victims, AllocPolicy, BlockTable, GcConfig, Lpn, MappingTable, OutOfSpace,
+    select_victims, AllocPolicy, BlockState, BlockTable, GcConfig, Lpn, MappingTable, OutOfSpace,
     PageAllocator, SpatialGroups, WayMask,
 };
 
@@ -164,6 +164,18 @@ impl FtlStats {
     }
 }
 
+/// The accounting result of handling a fail-stop chip failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChipFailureOutcome {
+    /// Live pages successfully relocated onto surviving chips.
+    pub pages_remapped: u64,
+    /// Live pages lost because no destination space remained; their LPNs
+    /// are unmapped (subsequent reads see them as never written).
+    pub pages_lost: u64,
+    /// Blocks of the failed chip pulled out of service.
+    pub blocks_retired: u64,
+}
+
 /// The flash translation layer.
 ///
 /// # Examples
@@ -203,8 +215,7 @@ impl Ftl {
     pub fn new(config: FtlConfig) -> Result<Self, FtlError> {
         config.validate()?;
         let geometry = config.geometry;
-        let logical_pages =
-            (geometry.page_count() as f64 * (1.0 - config.op_ratio)).floor() as u64;
+        let logical_pages = (geometry.page_count() as f64 * (1.0 - config.op_ratio)).floor() as u64;
         let mapping = MappingTable::new(logical_pages, geometry.page_count());
         let blocks = BlockTable::new(&geometry);
         let user_alloc = PageAllocator::new(&geometry, config.alloc_policy);
@@ -305,9 +316,9 @@ impl Ftl {
         // before the collector can place its own copies, and reclamation
         // deadlocks. Open blocks keep accepting pages regardless.
         let reserve = self.gc_reserve_blocks();
-        let ppn = self
-            .user_alloc
-            .allocate_with_reserve(&mut self.blocks, self.write_mask, reserve)?;
+        let ppn =
+            self.user_alloc
+                .allocate_with_reserve(&mut self.blocks, self.write_mask, reserve)?;
         let invalidated = self.mapping.map(lpn, ppn);
         if let Some(old) = invalidated {
             self.blocks.invalidate(old);
@@ -526,6 +537,108 @@ impl Ftl {
         }
     }
 
+    /// Marks each block factory-bad with probability `rate`, skipping any
+    /// plane already down to its last two spares (real devices likewise
+    /// guarantee a minimum usable count per plane). Returns how many blocks
+    /// were retired. Call on a fresh (all-free) device before any writes.
+    pub fn mark_manufacture_bad<R: Rng>(&mut self, rate: f64, rng: &mut R) -> u32 {
+        if rate <= 0.0 {
+            return 0;
+        }
+        let bpp = self.geometry.blocks_per_plane as u64;
+        let mut marked = 0;
+        for raw in 0..self.geometry.block_count() {
+            if !rng.gen_bool(rate) {
+                continue;
+            }
+            let unit = (raw / bpp) as usize;
+            if self.blocks.free_blocks_in_plane(unit) <= 2 {
+                continue;
+            }
+            self.blocks.mark_bad(Pbn::new(raw));
+            self.stats.blocks_retired += 1;
+            marked += 1;
+        }
+        marked
+    }
+
+    /// Retires `pbn` after a failed (grown-bad) erase: the erase attempt is
+    /// counted, the block never returns to the free pool. The block must
+    /// already be fully invalidated, as for [`Ftl::erase_block`].
+    pub fn retire_block(&mut self, pbn: Pbn) {
+        assert_eq!(
+            self.blocks.meta(pbn).valid_count(),
+            0,
+            "retiring block {pbn} with live pages"
+        );
+        self.blocks.force_retire(pbn);
+        self.stats.erases += 1;
+        self.stats.blocks_retired += 1;
+    }
+
+    /// Handles a fail-stop failure of the chip at (`channel`, `way`): every
+    /// live page on the chip is relocated onto surviving chips, every chip
+    /// block is retired, and the allocators are fenced off the dead chip.
+    /// Pages that cannot be placed (the survivors are out of space) are
+    /// unmapped and counted as lost. The device continues degraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates exceed the geometry.
+    pub fn fail_chip(&mut self, channel: u32, way: u32) -> ChipFailureOutcome {
+        let g = self.geometry;
+        assert!(
+            channel < g.channels && way < g.ways,
+            "chip ({channel},{way}) outside geometry"
+        );
+        let on_chip = |pbn: Pbn| {
+            let a = g.block_addr(pbn);
+            a.channel == channel && a.way == way
+        };
+        // Close open-block frontiers into the dead chip first: the
+        // allocators program open blocks without consulting free lists.
+        self.user_alloc.close_open_blocks(on_chip);
+        self.gc_alloc.close_open_blocks(on_chip);
+        let chip_pbns: Vec<Pbn> = (0..g.block_count())
+            .map(Pbn::new)
+            .filter(|&p| on_chip(p))
+            .collect();
+        let mut out = ChipFailureOutcome::default();
+        // Retire the chip's Free blocks before relocating, so no relocation
+        // destination can land on the dead chip — this keeps the procedure
+        // safe even when the way cannot be excluded by mask (ways == 1).
+        for &pbn in &chip_pbns {
+            if self.blocks.meta(pbn).state() == BlockState::Free {
+                self.blocks.force_retire(pbn);
+                out.blocks_retired += 1;
+            }
+        }
+        let mask = if g.ways > 1 {
+            WayMask::from_ways([way]).complement(g.ways)
+        } else {
+            WayMask::all(1)
+        };
+        for &pbn in &chip_pbns {
+            if self.blocks.meta(pbn).state() == BlockState::Bad {
+                continue;
+            }
+            for (lpn, src) in self.live_pages(pbn) {
+                match self.relocate(lpn, src, mask) {
+                    Ok(Some(_)) => out.pages_remapped += 1,
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.mapping.unmap(lpn);
+                        self.blocks.invalidate(src);
+                        out.pages_lost += 1;
+                    }
+                }
+            }
+            self.blocks.force_retire(pbn);
+            out.blocks_retired += 1;
+        }
+        out
+    }
+
     /// Checks internal consistency (mapping tables and valid counts agree);
     /// used by tests and debug assertions.
     pub fn check_consistency(&self) -> bool {
@@ -538,8 +651,7 @@ impl Ftl {
 mod tests {
     use super::*;
     use nssd_flash::Geometry;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nssd_sim::DetRng;
 
     fn tiny_ftl() -> Ftl {
         let mut cfg = FtlConfig::evaluation_defaults();
@@ -581,10 +693,7 @@ mod tests {
     fn lpn_range_enforced() {
         let mut ftl = tiny_ftl();
         let bad = Lpn::new(ftl.logical_pages());
-        assert!(matches!(
-            ftl.write(bad),
-            Err(FtlError::LpnOutOfRange(_))
-        ));
+        assert!(matches!(ftl.write(bad), Err(FtlError::LpnOutOfRange(_))));
     }
 
     #[test]
@@ -598,7 +707,7 @@ mod tests {
     #[test]
     fn gc_reclaims_space() {
         let mut ftl = tiny_ftl();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         // Fill the whole logical space, then overwrite to force garbage.
         ftl.precondition(1.0, 0.5, &mut rng).unwrap();
         assert!(ftl.free_ratio() > 0.0);
@@ -655,7 +764,7 @@ mod tests {
     #[test]
     fn write_amplification_tracked() {
         let mut ftl = tiny_ftl();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         ftl.precondition(1.0, 0.2, &mut rng).unwrap();
         // Post-precondition counters are reset.
         assert_eq!(ftl.stats().host_writes, 0);
@@ -668,13 +777,13 @@ mod tests {
 
     #[test]
     fn endurance_limit_retires_blocks_until_device_eol() {
-        use rand::Rng;
+        use nssd_sim::Rng;
         let mut cfg = FtlConfig::evaluation_defaults();
         cfg.geometry = Geometry::tiny();
         cfg.gc.victims_per_trigger = 2;
         cfg.endurance_limit = Some(2);
         let mut ftl = Ftl::new(cfg).unwrap();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = DetRng::seed_from_u64(9);
         ftl.precondition(0.7, 0.0, &mut rng).unwrap();
         let hot = (ftl.logical_pages() * 7 / 10).max(1);
         // Churn overwrites; at 2 P/E cycles the device retires blocks and
@@ -705,6 +814,91 @@ mod tests {
                 assert!(meta.erase_count() >= 2, "block {pbn} retired early");
             }
         }
+    }
+
+    #[test]
+    fn manufacture_bad_blocks_spare_plane_minimum() {
+        let mut ftl = tiny_ftl();
+        let mut rng = DetRng::seed_from_u64(11);
+        // Rate 1.0 would retire everything; the per-plane floor must hold.
+        let marked = ftl.mark_manufacture_bad(1.0, &mut rng);
+        assert!(marked > 0);
+        let g = *ftl.geometry();
+        for unit in 0..g.plane_count() as usize {
+            assert!(ftl.blocks().free_blocks_in_plane(unit) >= 2);
+        }
+        // The device still takes writes.
+        ftl.write(Lpn::new(0)).unwrap();
+        assert!(ftl.check_consistency());
+    }
+
+    #[test]
+    fn retire_block_counts_failed_erase() {
+        let mut ftl = tiny_ftl();
+        let out = ftl.write(Lpn::new(0)).unwrap();
+        ftl.trim(Lpn::new(0)).unwrap();
+        let pbn = ftl.geometry().pbn_of(out.ppn);
+        ftl.retire_block(pbn);
+        assert_eq!(ftl.blocks().meta(pbn).state(), crate::BlockState::Bad);
+        assert_eq!(ftl.stats().erases, 1);
+        assert_eq!(ftl.stats().blocks_retired, 1);
+    }
+
+    #[test]
+    fn fail_chip_remaps_live_data_and_continues() {
+        let mut ftl = tiny_ftl();
+        // Half-fill so the survivors have room for everything.
+        let filled = ftl.logical_pages() / 2;
+        for l in 0..filled {
+            ftl.write(Lpn::new(l)).unwrap();
+        }
+        let g = *ftl.geometry();
+        let out = ftl.fail_chip(0, 1);
+        assert!(out.pages_remapped > 0);
+        assert_eq!(out.pages_lost, 0);
+        assert_eq!(
+            out.blocks_retired,
+            g.block_count() / (g.channels as u64 * g.ways as u64)
+        );
+        // Every logical page survives, and none lives on the dead chip.
+        for l in 0..filled {
+            let ppn = ftl.lookup(Lpn::new(l)).expect("page lost");
+            let a = g.page_addr(ppn);
+            assert!(!(a.channel == 0 && a.way == 1), "lpn{l} on dead chip");
+        }
+        // Writes keep working (with GC reclaiming the shrunken pool) and
+        // avoid the dead chip too.
+        let mut rng = DetRng::seed_from_u64(13);
+        for l in 0..filled {
+            if ftl.needs_gc() {
+                ftl.instant_gc(&mut rng).unwrap();
+            }
+            let w = ftl.write(Lpn::new(l)).unwrap();
+            let a = g.page_addr(w.ppn);
+            assert!(!(a.channel == 0 && a.way == 1));
+        }
+        assert!(ftl.check_consistency());
+    }
+
+    #[test]
+    fn fail_chip_when_survivors_overflow_loses_pages() {
+        let mut ftl = tiny_ftl();
+        // Fill the entire logical space: 87.5% of physical. Losing one of
+        // the four chips leaves 75%, so some pages cannot be placed.
+        for l in 0..ftl.logical_pages() {
+            ftl.write(Lpn::new(l)).unwrap();
+        }
+        let out = ftl.fail_chip(1, 0);
+        assert!(out.pages_lost > 0);
+        // Lost pages read back as unmapped; the rest stay intact.
+        let mut lost = 0u64;
+        for l in 0..ftl.logical_pages() {
+            if ftl.lookup(Lpn::new(l)).is_none() {
+                lost += 1;
+            }
+        }
+        assert_eq!(lost, out.pages_lost);
+        assert!(ftl.check_consistency());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ablation point.
 
 use nssd_flash::Pbn;
-use rand::Rng;
+use nssd_sim::Rng;
 
 use crate::{BlockState, BlockTable, WayMask};
 
@@ -41,11 +41,11 @@ fn eligible(blocks: &BlockTable, pbn: Pbn, mask: WayMask) -> bool {
 /// ```
 /// use nssd_flash::Geometry;
 /// use nssd_ftl::{select_victims, BlockTable, VictimPolicy, WayMask};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use nssd_sim::DetRng;
 ///
 /// let g = Geometry::tiny();
 /// let blocks = BlockTable::new(&g);
-/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut rng = DetRng::seed_from_u64(7);
 /// // A fresh device has no full blocks, hence no victims.
 /// let v = select_victims(&blocks, 4, WayMask::all(g.ways), VictimPolicy::Greedy, &mut rng);
 /// assert!(v.is_empty());
@@ -106,8 +106,7 @@ mod tests {
     use super::*;
     use crate::{AllocPolicy, PageAllocator};
     use nssd_flash::Geometry;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nssd_sim::DetRng;
 
     /// Fills some blocks and invalidates varying page counts.
     fn build_fragmented() -> (Geometry, BlockTable) {
@@ -132,8 +131,14 @@ mod tests {
     #[test]
     fn greedy_picks_lowest_valid_counts() {
         let (g, blocks) = build_fragmented();
-        let mut rng = StdRng::seed_from_u64(1);
-        let victims = select_victims(&blocks, 3, WayMask::all(g.ways), VictimPolicy::Greedy, &mut rng);
+        let mut rng = DetRng::seed_from_u64(1);
+        let victims = select_victims(
+            &blocks,
+            3,
+            WayMask::all(g.ways),
+            VictimPolicy::Greedy,
+            &mut rng,
+        );
         assert!(!victims.is_empty());
         let worst_chosen = victims
             .iter()
@@ -154,17 +159,29 @@ mod tests {
     #[test]
     fn greedy_is_deterministic() {
         let (g, blocks) = build_fragmented();
-        let mut r1 = StdRng::seed_from_u64(1);
-        let mut r2 = StdRng::seed_from_u64(999);
-        let a = select_victims(&blocks, 4, WayMask::all(g.ways), VictimPolicy::Greedy, &mut r1);
-        let b = select_victims(&blocks, 4, WayMask::all(g.ways), VictimPolicy::Greedy, &mut r2);
+        let mut r1 = DetRng::seed_from_u64(1);
+        let mut r2 = DetRng::seed_from_u64(999);
+        let a = select_victims(
+            &blocks,
+            4,
+            WayMask::all(g.ways),
+            VictimPolicy::Greedy,
+            &mut r1,
+        );
+        let b = select_victims(
+            &blocks,
+            4,
+            WayMask::all(g.ways),
+            VictimPolicy::Greedy,
+            &mut r2,
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn mask_restricts_victims_to_group() {
         let (g, blocks) = build_fragmented();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let mask = WayMask::from_ways([1u32]);
         let victims = select_victims(&blocks, 10, mask, VictimPolicy::Greedy, &mut rng);
         for v in victims {
@@ -175,24 +192,42 @@ mod tests {
     #[test]
     fn random_policy_is_seed_deterministic() {
         let (g, blocks) = build_fragmented();
-        let mut r1 = StdRng::seed_from_u64(5);
-        let mut r2 = StdRng::seed_from_u64(5);
-        let a = select_victims(&blocks, 3, WayMask::all(g.ways), VictimPolicy::Random, &mut r1);
-        let b = select_victims(&blocks, 3, WayMask::all(g.ways), VictimPolicy::Random, &mut r2);
+        let mut r1 = DetRng::seed_from_u64(5);
+        let mut r2 = DetRng::seed_from_u64(5);
+        let a = select_victims(
+            &blocks,
+            3,
+            WayMask::all(g.ways),
+            VictimPolicy::Random,
+            &mut r1,
+        );
+        let b = select_victims(
+            &blocks,
+            3,
+            WayMask::all(g.ways),
+            VictimPolicy::Random,
+            &mut r2,
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn cost_benefit_prefers_cold_sparse_blocks() {
         let (g, mut blocks) = build_fragmented();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         // Age a fresh block by writing after the fragmented fill: newly
         // programmed blocks are "hot" and should rank below old sparse ones.
         let mut alloc = PageAllocator::new(&g, AllocPolicy::Cwdp);
         for _ in 0..g.pages_per_block {
             alloc.allocate(&mut blocks, WayMask::all(g.ways)).unwrap();
         }
-        let cb = select_victims(&blocks, 3, WayMask::all(g.ways), VictimPolicy::CostBenefit, &mut rng);
+        let cb = select_victims(
+            &blocks,
+            3,
+            WayMask::all(g.ways),
+            VictimPolicy::CostBenefit,
+            &mut rng,
+        );
         assert!(!cb.is_empty());
         let now = blocks.op_clock();
         for v in &cb {
@@ -200,15 +235,27 @@ mod tests {
             assert!(now - blocks.meta(*v).last_program() > 0);
         }
         // Deterministic for a fixed state.
-        let cb2 = select_victims(&blocks, 3, WayMask::all(g.ways), VictimPolicy::CostBenefit, &mut rng);
+        let cb2 = select_victims(
+            &blocks,
+            3,
+            WayMask::all(g.ways),
+            VictimPolicy::CostBenefit,
+            &mut rng,
+        );
         assert_eq!(cb, cb2);
     }
 
     #[test]
     fn never_selects_open_or_fully_valid_blocks() {
         let (g, blocks) = build_fragmented();
-        let mut rng = StdRng::seed_from_u64(2);
-        let victims = select_victims(&blocks, 64, WayMask::all(g.ways), VictimPolicy::Greedy, &mut rng);
+        let mut rng = DetRng::seed_from_u64(2);
+        let victims = select_victims(
+            &blocks,
+            64,
+            WayMask::all(g.ways),
+            VictimPolicy::Greedy,
+            &mut rng,
+        );
         for v in &victims {
             let meta = blocks.meta(*v);
             assert_eq!(meta.state(), BlockState::Full);

@@ -138,9 +138,6 @@ mod tests {
         let mut pipes = HostPipes::new(HostParams::table2());
         let before = pipes.dram_busy();
         pipes.dram_roundtrip(SimTime::ZERO, 16 * 1024, 0);
-        assert_eq!(
-            pipes.dram_busy() - before,
-            SimTime::from_ns(2 * 2048)
-        );
+        assert_eq!(pipes.dram_busy() - before, SimTime::from_ns(2 * 2048));
     }
 }

@@ -147,7 +147,8 @@ impl PacketBus {
 
     /// Wire time of a data packet carrying `payload_bytes`.
     pub fn data_packet_time(&self, payload_bytes: u32) -> SimTime {
-        self.params.flit_time(DataPacket::new(payload_bytes).flits())
+        self.params
+            .flit_time(DataPacket::new(payload_bytes).flits())
     }
 
     /// Channel occupancy to read a page out of the page register: the
@@ -168,6 +169,14 @@ impl PacketBus {
     /// of direct flash-to-flash movement).
     pub fn xfer_time(&self, payload_bytes: u32) -> SimTime {
         self.control_packet_time(FlashCommand::XferOut) + self.data_packet_time(payload_bytes)
+    }
+
+    /// Wire time of a NAK notification after a failed CRC check: a two-flit
+    /// micro-frame (header + CRC) back to the sender. Only packetized links
+    /// can send one — the dedicated-signal interface has no frame check to
+    /// fail.
+    pub fn nak_time(&self) -> SimTime {
+        self.params.flit_time(2)
     }
 }
 
@@ -243,5 +252,13 @@ mod tests {
     #[should_panic(expected = "width")]
     fn zero_width_rejected() {
         let _ = BusParams::new(1000, 0);
+    }
+
+    #[test]
+    fn nak_is_two_flits() {
+        let b8 = PacketBus::new(BusParams::table2_baseline());
+        assert_eq!(b8.nak_time(), SimTime::from_ns(2));
+        let b16 = PacketBus::new(BusParams::table2_pssd());
+        assert_eq!(b16.nak_time(), SimTime::from_ns(1));
     }
 }

@@ -40,91 +40,129 @@ mod timing_diagram;
 pub use bus::{BusParams, DedicatedBus, PacketBus};
 pub use mesh::{LinkId, Mesh, MeshEndpoint, MeshParams};
 pub use omnibus::{ControllerRole, IoPath, Omnibus};
-pub use packet::{ControlPacket, DataPacket, PacketError, PacketType, DATA_LEN_FLITS, FLIT_BYTES};
+pub use packet::{
+    crc8, ControlPacket, DataPacket, PacketError, PacketType, DATA_LEN_FLITS, FLIT_BYTES,
+};
 pub use timing_diagram::{Phase, PhaseDriver, TimingDiagram};
+
+#[cfg(test)]
+const CASES: usize = if cfg!(feature = "heavy-tests") {
+    8192
+} else {
+    256
+};
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use nssd_sim::{DetRng, Rng};
 
-    proptest! {
-        #[test]
-        fn data_packet_prefix_roundtrip(bytes in 1u32..=64 * 1024) {
+    #[test]
+    fn data_packet_prefix_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(0xDA7A);
+        for _ in 0..CASES {
+            let bytes = rng.gen_range(1..=64 * 1024u64) as u32;
             let p = DataPacket::new(bytes);
             let enc = p.encode_prefix();
-            prop_assert_eq!(DataPacket::decode_prefix(&enc).unwrap(), p);
+            assert_eq!(DataPacket::decode_prefix(&enc).unwrap(), p);
         }
+    }
 
-        #[test]
-        fn control_header_roundtrip(t in 0u8..4, c in 0u8..4, r in 0u8..4) {
-            let p = ControlPacket { command_flits: t, column_flits: c, row_flits: r };
+    #[test]
+    fn control_header_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(0xC7A1);
+        for _ in 0..CASES {
+            let p = ControlPacket {
+                command_flits: rng.gen_range(0..4u64) as u8,
+                column_flits: rng.gen_range(0..4u64) as u8,
+                row_flits: rng.gen_range(0..4u64) as u8,
+            };
             let enc = p.encode_header().unwrap();
-            prop_assert_eq!(ControlPacket::decode_header(enc).unwrap(), p);
+            assert_eq!(ControlPacket::decode_header(enc).unwrap(), p);
         }
+    }
 
-        #[test]
-        fn payload_time_monotone_in_bytes(
-            mt in 1u64..4000,
-            width in prop::sample::select(vec![2u32, 4, 8, 16]),
-            a in 0u64..100_000,
-            b in 0u64..100_000,
-        ) {
+    #[test]
+    fn payload_time_monotone_in_bytes() {
+        let mut rng = DetRng::seed_from_u64(0xBEAD);
+        let widths = [2u32, 4, 8, 16];
+        for _ in 0..CASES {
+            let mt = rng.gen_range(1..4000u64);
+            let width = widths[rng.gen_range(0..widths.len())];
+            let a = rng.gen_range(0..100_000u64);
+            let b = rng.gen_range(0..100_000u64);
             let bus = BusParams::new(mt, width);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(bus.payload_time(lo) <= bus.payload_time(hi));
+            assert!(bus.payload_time(lo) <= bus.payload_time(hi));
         }
+    }
 
-        #[test]
-        fn doubling_width_never_slower(bytes in 1u64..1_000_000) {
+    #[test]
+    fn doubling_width_never_slower() {
+        let mut rng = DetRng::seed_from_u64(0x21DE);
+        for _ in 0..CASES {
+            let bytes = rng.gen_range(1..1_000_000u64);
             let narrow = BusParams::new(1000, 8);
             let wide = BusParams::new(1000, 16);
-            prop_assert!(wide.payload_time(bytes) <= narrow.payload_time(bytes));
+            assert!(wide.payload_time(bytes) <= narrow.payload_time(bytes));
         }
+    }
 
-        #[test]
-        fn mesh_routes_are_valid_walks(
-            rows in 1u32..9,
-            cols in 1u32..9,
-            r1 in 0u32..9,
-            c1 in 0u32..9,
-            ctrl in 0u32..9,
-        ) {
+    #[test]
+    fn mesh_routes_are_valid_walks() {
+        let mut rng = DetRng::seed_from_u64(0x3E5E);
+        for _ in 0..CASES {
+            let rows = rng.gen_range(1..9u64) as u32;
+            let cols = rng.gen_range(1..9u64) as u32;
             let m = Mesh::new(rows, cols);
-            let chip = MeshEndpoint::Chip { row: r1 % rows, col: c1 % cols };
-            let ctrl_ep = MeshEndpoint::Controller(ctrl % cols);
+            let chip = MeshEndpoint::Chip {
+                row: rng.gen_range(0..9u64) as u32 % rows,
+                col: rng.gen_range(0..9u64) as u32 % cols,
+            };
+            let ctrl_ep = MeshEndpoint::Controller(rng.gen_range(0..9u64) as u32 % cols);
             for (s, d) in [(ctrl_ep, chip), (chip, ctrl_ep)] {
                 let path = m.route(s, d);
-                prop_assert!(path.len() <= (rows + cols) as usize + 1);
+                assert!(path.len() <= (rows + cols) as usize + 1);
                 for l in &path {
-                    prop_assert!(l.0 < m.link_count());
+                    assert!(l.0 < m.link_count());
                 }
                 // No link repeats on a minimal XY route.
                 let mut sorted: Vec<_> = path.clone();
                 sorted.sort();
                 sorted.dedup();
-                prop_assert_eq!(sorted.len(), path.len());
+                assert_eq!(sorted.len(), path.len());
             }
         }
+    }
 
-        #[test]
-        fn omnibus_every_way_has_a_v_channel(channels in 1u32..16, ways in 1u32..16) {
+    #[test]
+    fn omnibus_every_way_has_a_v_channel() {
+        let mut rng = DetRng::seed_from_u64(0x0B05);
+        for _ in 0..CASES {
+            let channels = rng.gen_range(1..16u64) as u32;
+            let ways = rng.gen_range(1..16u64) as u32;
             let t = Omnibus::new(channels, ways, channels);
             for w in 0..ways {
                 let v = t.v_channel_of_way(w);
-                prop_assert!(v < t.v_channel_count());
+                assert!(v < t.v_channel_count());
                 let owner = t.controller_of_v_channel(v);
-                prop_assert!(owner < channels);
+                assert!(owner < channels);
             }
         }
+    }
 
-        #[test]
-        fn omnibus_handshake_bounded(channels in 1u32..16, src in 0u32..16, dst in 0u32..16, v in 0u32..16) {
+    #[test]
+    fn omnibus_handshake_bounded() {
+        let mut rng = DetRng::seed_from_u64(0x4A4D);
+        for _ in 0..CASES {
+            let channels = rng.gen_range(1..16u64) as u32;
             let t = Omnibus::new(channels, channels, channels);
-            let (src, dst, v) = (src % channels, dst % channels, v % t.v_channel_count());
+            let src = rng.gen_range(0..16u64) as u32 % channels;
+            let dst = rng.gen_range(0..16u64) as u32 % channels;
+            let v = rng.gen_range(0..16u64) as u32 % t.v_channel_count();
             let msgs = t.f2f_handshake_messages(src, dst, v);
-            prop_assert!(msgs <= 4);
-            prop_assert_eq!(msgs % 2, 0);
+            assert!(msgs <= 4);
+            assert_eq!(msgs % 2, 0);
         }
     }
 }

@@ -199,13 +199,7 @@ impl Mesh {
                 self.y_route(c, row, 0, &mut path);
                 path.push(self.eject(c));
             }
-            (
-                MeshEndpoint::Chip { row, col },
-                MeshEndpoint::Chip {
-                    row: r2,
-                    col: c2,
-                },
-            ) => {
+            (MeshEndpoint::Chip { row, col }, MeshEndpoint::Chip { row: r2, col: c2 }) => {
                 assert!(row < self.rows && col < self.cols && r2 < self.rows && c2 < self.cols);
                 self.x_route(row, col, c2, &mut path);
                 self.y_route(c2, row, r2, &mut path);

@@ -204,6 +204,17 @@ impl Omnibus {
     pub fn handshake_time(&self, messages: u32, msg_latency: SimTime) -> SimTime {
         msg_latency * messages as u64
     }
+
+    /// Number of SoC control-plane messages to recover one corrupted packet
+    /// on a link involving `ctrl_edges` controller-to-controller edges: the
+    /// receiver's NAK travels back across each edge and the retransmission
+    /// grant returns (the data retransmission itself is charged on the
+    /// channel timeline, not here). Zero edges (a chip talking to its own
+    /// h-channel controller) needs no SoC messages — the NAK stays on the
+    /// wire.
+    pub fn nak_recovery_messages(&self, ctrl_edges: u32) -> u32 {
+        2 * ctrl_edges
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +299,13 @@ mod tests {
     #[should_panic(expected = "controller")]
     fn controller_channel_mismatch_rejected() {
         let _ = Omnibus::new(8, 8, 4);
+    }
+
+    #[test]
+    fn nak_recovery_scales_with_edges() {
+        let t = Omnibus::new(8, 8, 8);
+        assert_eq!(t.nak_recovery_messages(0), 0);
+        assert_eq!(t.nak_recovery_messages(1), 2);
+        assert_eq!(t.nak_recovery_messages(2), 4);
     }
 }

@@ -55,6 +55,14 @@ pub enum PacketError {
     Truncated,
     /// A field exceeded its encodable range.
     FieldOverflow(&'static str),
+    /// The trailing CRC flit does not match the frame contents — the
+    /// receiver NAKs and the sender retransmits.
+    CrcMismatch {
+        /// CRC carried by the frame.
+        got: u8,
+        /// CRC recomputed over the received bytes.
+        want: u8,
+    },
 }
 
 impl fmt::Display for PacketError {
@@ -63,8 +71,31 @@ impl fmt::Display for PacketError {
             PacketError::UnknownType(b) => write!(f, "unknown packet type bits {b:#04b}"),
             PacketError::Truncated => write!(f, "packet bytes truncated"),
             PacketError::FieldOverflow(field) => write!(f, "packet field `{field}` overflows"),
+            PacketError::CrcMismatch { got, want } => {
+                write!(
+                    f,
+                    "crc mismatch: frame carries {got:#04x}, computed {want:#04x}"
+                )
+            }
         }
     }
+}
+
+/// CRC-8/ATM (polynomial `x^8 + x^2 + x + 1`, initial value 0) over a byte
+/// slice — the single-flit frame check appended to CRC-protected packets.
+pub fn crc8(bytes: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in bytes {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
 }
 
 impl std::error::Error for PacketError {}
@@ -149,6 +180,33 @@ impl ControlPacket {
     pub fn header_overhead_fraction() -> f64 {
         0.25
     }
+
+    /// Encodes the header flit followed by its CRC-8 flit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::FieldOverflow`] if any count exceeds 3.
+    pub fn encode_header_crc(&self) -> Result<[u8; 2], PacketError> {
+        let header = self.encode_header()?;
+        Ok([header, crc8(&[header])])
+    }
+
+    /// Decodes a `[header, crc]` pair, verifying the frame check first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::CrcMismatch`] on a failed check, otherwise
+    /// any [`ControlPacket::decode_header`] error.
+    pub fn decode_header_crc(bytes: [u8; 2]) -> Result<Self, PacketError> {
+        let want = crc8(&bytes[..1]);
+        if bytes[1] != want {
+            return Err(PacketError::CrcMismatch {
+                got: bytes[1],
+                want,
+            });
+        }
+        Self::decode_header(bytes[0])
+    }
 }
 
 /// A data packet: one header flit, a two-flit length, then the payload.
@@ -231,6 +289,35 @@ impl DataPacket {
     /// 50%: 4 of 8 bits unused).
     pub fn header_overhead_fraction() -> f64 {
         0.5
+    }
+
+    /// Encodes header + length flits followed by a CRC-8 flit over them.
+    /// (The payload CRC rides at the end of the payload burst; timing-wise
+    /// both are single flits, which is what the bus model charges.)
+    pub fn encode_prefix_crc(&self) -> [u8; 4] {
+        let prefix = self.encode_prefix();
+        [prefix[0], prefix[1], prefix[2], crc8(&prefix)]
+    }
+
+    /// Decodes a CRC-carrying prefix, verifying the frame check first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::Truncated`] on fewer than 4 bytes,
+    /// [`PacketError::CrcMismatch`] on a failed check, otherwise any
+    /// [`DataPacket::decode_prefix`] error.
+    pub fn decode_prefix_crc(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < 4 {
+            return Err(PacketError::Truncated);
+        }
+        let want = crc8(&bytes[..3]);
+        if bytes[3] != want {
+            return Err(PacketError::CrcMismatch {
+                got: bytes[3],
+                want,
+            });
+        }
+        Self::decode_prefix(&bytes[..3])
     }
 }
 
@@ -320,5 +407,49 @@ mod tests {
     fn header_overhead_constants_match_paper() {
         assert_eq!(ControlPacket::header_overhead_fraction(), 0.25);
         assert_eq!(DataPacket::header_overhead_fraction(), 0.5);
+    }
+
+    #[test]
+    fn crc8_known_properties() {
+        // Empty input and all-zero input give CRC 0 for this polynomial.
+        assert_eq!(crc8(&[]), 0);
+        assert_eq!(crc8(&[0, 0, 0]), 0);
+        // Any single-bit flip changes the CRC.
+        let base = crc8(&[0x42, 0x17]);
+        for bit in 0..16 {
+            let mut corrupted = [0x42u8, 0x17];
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc8(&corrupted), base, "bit {bit} flip undetected");
+        }
+    }
+
+    #[test]
+    fn crc_header_roundtrip_and_detection() {
+        let p = ControlPacket::for_command(FlashCommand::ReadPage);
+        let enc = p.encode_header_crc().unwrap();
+        assert_eq!(ControlPacket::decode_header_crc(enc).unwrap(), p);
+        // Corrupt the header: the CRC catches it before type decoding.
+        let bad = [enc[0] ^ 0x10, enc[1]];
+        assert!(matches!(
+            ControlPacket::decode_header_crc(bad),
+            Err(PacketError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn crc_prefix_roundtrip_and_detection() {
+        let p = DataPacket::new(16 * 1024);
+        let enc = p.encode_prefix_crc();
+        assert_eq!(DataPacket::decode_prefix_crc(&enc).unwrap(), p);
+        let mut bad = enc;
+        bad[1] ^= 0x01; // corrupt the length field
+        assert!(matches!(
+            DataPacket::decode_prefix_crc(&bad),
+            Err(PacketError::CrcMismatch { .. })
+        ));
+        assert_eq!(
+            DataPacket::decode_prefix_crc(&enc[..3]),
+            Err(PacketError::Truncated)
+        );
     }
 }

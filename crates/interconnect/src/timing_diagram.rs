@@ -136,7 +136,11 @@ impl TimingDiagram {
             ruler.push_str(&format!("{label:<w$}"));
             ruler.push('|');
         }
-        format!("-- {} (total {})\n{bar}\n{ruler}\n", self.title, self.total())
+        format!(
+            "-- {} (total {})\n{bar}\n{ruler}\n",
+            self.title,
+            self.total()
+        )
     }
 }
 

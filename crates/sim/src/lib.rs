@@ -50,94 +50,125 @@
 
 mod event;
 mod resource;
+mod rng;
 mod stats;
 mod time;
 mod util;
 
 pub use event::EventQueue;
 pub use resource::{BandwidthPipe, Reservation, Resource};
+pub use rng::{DetRng, Rng, SampleRange};
 pub use stats::{Histogram, RunningStats};
 pub use time::SimTime;
 pub use util::UtilizationRecorder;
 
+/// Property-suite iteration count: the offline default keeps `cargo test`
+/// fast; building with `--features heavy-tests` multiplies the search depth
+/// (the role the proptest dependency played before the offline port).
+#[cfg(test)]
+const CASES: usize = if cfg!(feature = "heavy-tests") {
+    4096
+} else {
+    128
+};
+
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    #[test]
+    fn event_queue_pops_sorted() {
+        let mut rng = DetRng::seed_from_u64(0xE0E0);
+        for _ in 0..CASES {
+            let n = rng.gen_range(1..200usize);
             let mut q = EventQueue::new();
-            for &t in &times {
+            for _ in 0..n {
+                let t = rng.gen_range(0..1_000_000u64);
                 q.schedule(SimTime::from_ns(t), t);
             }
             let mut prev = 0u64;
             while let Some((at, _)) = q.pop() {
-                prop_assert!(at.as_ns() >= prev);
+                assert!(at.as_ns() >= prev);
                 prev = at.as_ns();
             }
         }
+    }
 
-        #[test]
-        fn resource_reservations_never_overlap(
-            reqs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..100)
-        ) {
+    #[test]
+    fn resource_reservations_never_overlap() {
+        let mut rng = DetRng::seed_from_u64(0x5EED);
+        for _ in 0..CASES {
             // Requests must be issued in nondecreasing `now` order, as the
             // engine does; sort to honor the API contract.
-            let mut reqs = reqs;
+            let n = rng.gen_range(1..100usize);
+            let mut reqs: Vec<(u64, u64)> = (0..n)
+                .map(|_| (rng.gen_range(0..10_000u64), rng.gen_range(1..500u64)))
+                .collect();
             reqs.sort();
             let mut r = Resource::new();
             let mut prev_end = SimTime::ZERO;
             for (now, dur) in reqs {
                 let g = r.reserve(SimTime::from_ns(now), SimTime::from_ns(dur));
-                prop_assert!(g.start >= prev_end);
-                prop_assert!(g.start >= SimTime::from_ns(now));
-                prop_assert_eq!(g.end - g.start, SimTime::from_ns(dur));
+                assert!(g.start >= prev_end);
+                assert!(g.start >= SimTime::from_ns(now));
+                assert_eq!(g.end - g.start, SimTime::from_ns(dur));
                 prev_end = g.end;
             }
         }
+    }
 
-        #[test]
-        fn histogram_percentiles_monotone(samples in proptest::collection::vec(1u64..10_000_000_000, 1..300)) {
+    #[test]
+    fn histogram_percentiles_monotone() {
+        let mut rng = DetRng::seed_from_u64(0x415);
+        for _ in 0..CASES {
+            let n = rng.gen_range(1..300usize);
             let mut h = Histogram::new();
-            for &s in &samples {
-                h.record(SimTime::from_ns(s));
+            for _ in 0..n {
+                h.record(SimTime::from_ns(rng.gen_range(1..10_000_000_000u64)));
             }
             let mut prev = SimTime::ZERO;
             for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
                 let v = h.percentile(p);
-                prop_assert!(v >= prev, "p{} = {} < previous {}", p, v, prev);
-                prop_assert!(v >= h.min() && v <= h.max());
+                assert!(v >= prev, "p{} = {} < previous {}", p, v, prev);
+                assert!(v >= h.min() && v <= h.max());
                 prev = v;
             }
         }
+    }
 
-        #[test]
-        fn recorder_conserves_busy_time(
-            intervals in proptest::collection::vec((0u64..10_000, 0u64..1_000), 1..50),
-            window in 1u64..500,
-        ) {
+    #[test]
+    fn recorder_conserves_busy_time() {
+        let mut rng = DetRng::seed_from_u64(0xB1B);
+        for _ in 0..CASES {
+            let window = rng.gen_range(1..500u64);
+            let n = rng.gen_range(1..50usize);
             let mut rec = UtilizationRecorder::new(SimTime::from_ns(window), 1);
             let mut expect = 0u64;
-            for &(s, d) in &intervals {
+            for _ in 0..n {
+                let s = rng.gen_range(0..10_000u64);
+                let d = rng.gen_range(0..1_000u64);
                 rec.record(SimTime::from_ns(s), SimTime::from_ns(s + d), 0);
                 expect += d;
             }
-            prop_assert_eq!(rec.total_busy(0).as_ns(), expect);
+            assert_eq!(rec.total_busy(0).as_ns(), expect);
             let windows = rec.num_windows();
             let binned: u64 = (0..windows).map(|w| rec.busy_in_window(w, 0).as_ns()).sum();
-            prop_assert_eq!(binned, expect);
+            assert_eq!(binned, expect);
         }
+    }
 
-        #[test]
-        fn histogram_mean_matches_exact(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    #[test]
+    fn histogram_mean_matches_exact() {
+        let mut rng = DetRng::seed_from_u64(0x3AB);
+        for _ in 0..CASES {
+            let n = rng.gen_range(1..200usize);
+            let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect();
             let mut h = Histogram::new();
             for &s in &samples {
                 h.record(SimTime::from_ns(s));
             }
             let exact = samples.iter().map(|&s| s as u128).sum::<u128>() / samples.len() as u128;
-            prop_assert_eq!(h.mean().as_ns() as u128, exact);
+            assert_eq!(h.mean().as_ns() as u128, exact);
         }
     }
 }

@@ -77,8 +77,6 @@ pub struct MsrImportOptions {
     pub max_records: Option<usize>,
 }
 
-
-
 /// Parses MSR Cambridge CSV text into a [`Trace`].
 ///
 /// # Errors
@@ -269,7 +267,8 @@ mod tests {
 
     #[test]
     fn header_and_comments_skipped() {
-        let text = format!("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n# c\n{SAMPLE}");
+        let text =
+            format!("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n# c\n{SAMPLE}");
         let t = import_msr(&text, "usr", MsrImportOptions::default()).unwrap();
         assert_eq!(t.len(), 4);
     }

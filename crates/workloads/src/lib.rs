@@ -35,42 +35,63 @@ pub use trace::{Trace, TraceParseError};
 pub use zipf::Zipf;
 
 #[cfg(test)]
+const CASES: usize = if cfg!(feature = "heavy-tests") {
+    1024
+} else {
+    32
+};
+
+#[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nssd_sim::{DetRng, Rng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn trace_text_roundtrip(requests in 1usize..200, seed in 0u64..1000) {
+    #[test]
+    fn trace_text_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(0x77AC3);
+        for _ in 0..CASES {
+            let requests = rng.gen_range(1..200usize);
+            let seed = rng.gen_range(0..1000u64);
             let t = PaperWorkload::YcsbA.generate(requests, 1 << 26, seed);
             let back: Trace = t.to_text().parse().unwrap();
-            prop_assert_eq!(back, t);
+            assert_eq!(back, t);
         }
+    }
 
-        #[test]
-        fn zipf_in_bounds(n in 1u64..100_000, s in 0.0f64..2.0, seed in 0u64..100) {
+    #[test]
+    fn zipf_in_bounds() {
+        let mut rng = DetRng::seed_from_u64(0x21BF);
+        for _ in 0..CASES {
+            let n = rng.gen_range(1..100_000u64);
+            let s = rng.gen_range(0.0..2.0f64);
+            let seed = rng.gen_range(0..100u64);
             let z = Zipf::new(n, s, seed);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sample_rng = DetRng::seed_from_u64(seed);
             for _ in 0..50 {
-                prop_assert!(z.sample(&mut rng) < n);
+                assert!(z.sample(&mut sample_rng) < n);
             }
         }
+    }
 
-        #[test]
-        fn synthetic_request_counts(requests in 1usize..500) {
-            let t = SyntheticSpec::paper(SyntheticPattern::RandomRead, requests, 1 << 26).generate();
-            prop_assert_eq!(t.len(), requests);
+    #[test]
+    fn synthetic_request_counts() {
+        let mut rng = DetRng::seed_from_u64(0x5C);
+        for _ in 0..CASES {
+            let requests = rng.gen_range(1..500usize);
+            let t =
+                SyntheticSpec::paper(SyntheticPattern::RandomRead, requests, 1 << 26).generate();
+            assert_eq!(t.len(), requests);
         }
+    }
 
-        #[test]
-        fn generated_traces_are_time_ordered(seed in 0u64..500) {
+    #[test]
+    fn generated_traces_are_time_ordered() {
+        let mut rng = DetRng::seed_from_u64(0x08D);
+        for _ in 0..CASES {
+            let seed = rng.gen_range(0..500u64);
             let t = PaperWorkload::Exchange0.generate(300, 1 << 26, seed);
             for w in t.records().windows(2) {
-                prop_assert!(w[1].at >= w[0].at);
+                assert!(w[1].at >= w[0].at);
             }
         }
     }

@@ -10,8 +10,7 @@
 
 use nssd_host::{IoOp, IoRequest};
 use nssd_sim::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nssd_sim::{DetRng, Rng};
 
 use crate::{Trace, Zipf};
 
@@ -195,7 +194,7 @@ pub fn generate_trace(
     let pages = footprint_bytes / PAGE;
     let region = spec.hot_region_pages.clamp(1, pages);
     let regions = (pages / region).max(1);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    let mut rng = DetRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
     let zipf = Zipf::new(regions, spec.read_skew, seed);
     let mut trace = Trace::new(spec.name);
 
@@ -229,7 +228,10 @@ pub fn generate_trace(
         now += gap as u64;
 
         let is_read = rng.gen_bool(spec.read_fraction);
-        let pages_len = rng.gen_range(1..=4).min(spec.request_bytes as u64 / PAGE * 2).max(1);
+        let pages_len = rng
+            .gen_range(1..=4)
+            .min(spec.request_bytes as u64 / PAGE * 2)
+            .max(1);
         let sequential = rng.gen_bool(spec.sequential_fraction);
         let page = if is_read {
             if sequential {

@@ -3,8 +3,7 @@
 
 use nssd_host::{IoOp, IoRequest};
 use nssd_sim::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nssd_sim::{DetRng, Rng};
 
 use crate::Trace;
 
@@ -97,7 +96,7 @@ impl SyntheticSpec {
             self.footprint_bytes >= self.request_bytes as u64,
             "footprint smaller than one request"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let slots = self.footprint_bytes / self.request_bytes as u64;
         let mut trace = Trace::new(self.pattern.label());
         let mut cursor = 0u64;

@@ -112,7 +112,13 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if both run lengths are zero.
-    pub fn interleave(name: impl Into<String>, a: &Trace, a_run: usize, b: &Trace, b_run: usize) -> Trace {
+    pub fn interleave(
+        name: impl Into<String>,
+        a: &Trace,
+        a_run: usize,
+        b: &Trace,
+        b_run: usize,
+    ) -> Trace {
         assert!(a_run + b_run > 0, "at least one run length must be nonzero");
         let mut out = Trace::new(name);
         let (ra, rb) = (a.records(), b.records());
@@ -177,9 +183,10 @@ impl FromStr for Trace {
             }
             let mut parts = line.split_whitespace();
             let mut next = |field: &'static str| {
-                parts
-                    .next()
-                    .ok_or(TraceParseError::MissingField { line: idx + 1, field })
+                parts.next().ok_or(TraceParseError::MissingField {
+                    line: idx + 1,
+                    field,
+                })
             };
             let at: u64 = next("time")?
                 .parse()
@@ -260,7 +267,12 @@ mod tests {
     fn sample() -> Trace {
         let mut t = Trace::new("sample");
         t.push(IoRequest::new(IoOp::Write, 0, 16384, SimTime::ZERO));
-        t.push(IoRequest::new(IoOp::Read, 16384, 32768, SimTime::from_us(5)));
+        t.push(IoRequest::new(
+            IoOp::Read,
+            16384,
+            32768,
+            SimTime::from_us(5),
+        ));
         t.push(IoRequest::new(IoOp::Read, 0, 16384, SimTime::from_us(9)));
         t
     }
@@ -306,7 +318,10 @@ mod tests {
         let bad: Result<Trace, _> = "100 R 0\n".parse();
         assert!(matches!(
             bad.unwrap_err(),
-            TraceParseError::MissingField { line: 1, field: "len" }
+            TraceParseError::MissingField {
+                line: 1,
+                field: "len"
+            }
         ));
         let bad: Result<Trace, _> = "abc R 0 512\n".parse();
         assert_eq!(bad.unwrap_err(), TraceParseError::BadNumber { line: 1 });
@@ -317,15 +332,28 @@ mod tests {
         let mut a = Trace::new("a");
         let mut b = Trace::new("b");
         for i in 0..7u64 {
-            a.push(IoRequest::new(IoOp::Read, i * 512, 512, SimTime::from_ns(i)));
+            a.push(IoRequest::new(
+                IoOp::Read,
+                i * 512,
+                512,
+                SimTime::from_ns(i),
+            ));
         }
         for i in 0..3u64 {
-            b.push(IoRequest::new(IoOp::Write, i * 512, 512, SimTime::from_ns(i)));
+            b.push(IoRequest::new(
+                IoOp::Write,
+                i * 512,
+                512,
+                SimTime::from_ns(i),
+            ));
         }
         let m = Trace::interleave("mix", &a, 2, &b, 1);
         assert_eq!(m.len(), 10);
         // Pattern: R R W R R W R R W R (b exhausted after 3 rounds).
-        let ops: String = m.iter().map(|r| if r.op.is_read() { 'R' } else { 'W' }).collect();
+        let ops: String = m
+            .iter()
+            .map(|r| if r.op.is_read() { 'R' } else { 'W' })
+            .collect();
         assert_eq!(ops, "RRWRRWRRWR");
         assert!(m.iter().all(|r| r.at == SimTime::ZERO));
     }

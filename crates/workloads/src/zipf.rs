@@ -7,7 +7,7 @@
 //! permutation so the hot set is not clustered at offset zero (which would
 //! alias with the FTL's striping order and fake imbalance).
 
-use rand::Rng;
+use nssd_sim::Rng;
 
 fn gcd(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {
@@ -22,10 +22,10 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 ///
 /// ```
 /// use nssd_workloads::Zipf;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use nssd_sim::DetRng;
 ///
 /// let z = Zipf::new(1000, 1.1, 42);
-/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut rng = DetRng::seed_from_u64(7);
 /// let v = z.sample(&mut rng);
 /// assert!(v < 1000);
 /// ```
@@ -47,7 +47,10 @@ impl Zipf {
     /// Panics if `n == 0`, `s < 0`, or `s` is not finite.
     pub fn new(n: u64, s: f64, scatter_seed: u64) -> Self {
         assert!(n > 0, "domain must be nonempty");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0f64;
         for k in 1..=n {
@@ -92,10 +95,7 @@ impl Zipf {
 
     /// The address that rank `k` (0 = hottest) maps to.
     pub fn scatter(&self, rank: u64) -> u64 {
-        (rank
-            .wrapping_mul(self.mult)
-            .wrapping_add(self.offset))
-            % self.n
+        (rank.wrapping_mul(self.mult).wrapping_add(self.offset)) % self.n
     }
 
     /// The probability of the hottest item.
@@ -107,13 +107,12 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nssd_sim::DetRng;
 
     #[test]
     fn samples_stay_in_domain() {
         let z = Zipf::new(100, 1.2, 3);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 100);
         }
@@ -122,7 +121,7 @@ mod tests {
     #[test]
     fn zero_exponent_is_roughly_uniform() {
         let z = Zipf::new(10, 0.0, 0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let mut counts = [0u32; 10];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng) as usize] += 1;
@@ -131,13 +130,16 @@ mod tests {
             *counts.iter().min().unwrap() as f64,
             *counts.iter().max().unwrap() as f64,
         );
-        assert!(max / min < 1.2, "uniform counts spread too wide: {counts:?}");
+        assert!(
+            max / min < 1.2,
+            "uniform counts spread too wide: {counts:?}"
+        );
     }
 
     #[test]
     fn high_exponent_concentrates_mass() {
         let z = Zipf::new(1000, 1.3, 7);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let hot = z.scatter(0);
         let mut hot_hits = 0u32;
         let n = 20_000;
@@ -167,8 +169,8 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let z = Zipf::new(500, 1.1, 9);
-        let mut a = StdRng::seed_from_u64(5);
-        let mut b = StdRng::seed_from_u64(5);
+        let mut a = DetRng::seed_from_u64(5);
+        let mut b = DetRng::seed_from_u64(5);
         let va: Vec<u64> = (0..100).map(|_| z.sample(&mut a)).collect();
         let vb: Vec<u64> = (0..100).map(|_| z.sample(&mut b)).collect();
         assert_eq!(va, vb);

@@ -45,15 +45,25 @@ fn main() -> Result<(), String> {
     )
     .map_err(|e| format!("import: {e}"))?;
 
-    println!("imported `{}`:\n{}\n", trace.name(), TraceStats::measure(&trace));
+    println!(
+        "imported `{}`:\n{}\n",
+        trace.name(),
+        TraceStats::measure(&trace)
+    );
 
     let base = run_trace(cfg, &trace)?;
     let mut pn_cfg = SsdConfig::new(Architecture::PnSsdSplit);
     pn_cfg.gc.policy = GcPolicy::None;
     let pnssd = run_trace(pn_cfg, &trace)?;
 
-    println!("baseSSD:        mean {}  p99 {}", base.all.mean, base.all.p99);
-    println!("pnSSD (+split): mean {}  p99 {}", pnssd.all.mean, pnssd.all.p99);
+    println!(
+        "baseSSD:        mean {}  p99 {}",
+        base.all.mean, base.all.p99
+    );
+    println!(
+        "pnSSD (+split): mean {}  p99 {}",
+        pnssd.all.mean, pnssd.all.p99
+    );
     println!("speedup: {:.2}x", pnssd.speedup_vs(&base));
     Ok(())
 }

@@ -5,9 +5,7 @@
 //! cargo run --release --example spatial_gc
 //! ```
 
-use networked_ssd::{
-    run_trace_preconditioned, Architecture, GcPolicy, PaperWorkload, SsdConfig,
-};
+use networked_ssd::{run_trace_preconditioned, Architecture, GcPolicy, PaperWorkload, SsdConfig};
 
 fn main() -> Result<(), String> {
     let policies = [GcPolicy::Parallel, GcPolicy::Preemptive, GcPolicy::Spatial];

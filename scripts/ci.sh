@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, and the full test suite.
+# Mirrors .github/workflows/ci.yml so a green run here is a green PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace --release -q
+
+echo "CI gate passed."

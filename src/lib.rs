@@ -44,12 +44,14 @@
 //! | [`ftl`] | `nssd-ftl` | Mapping, allocation, victim selection, GC policies |
 //! | [`host`] | `nssd-host` | Requests, host-side bandwidth pipes |
 //! | [`workloads`] | `nssd-workloads` | Traces, Zipf, synthetic + named suites |
+//! | [`faults`] | `nssd-faults` | Deterministic fault injection, reliability counters |
 //! | [`core`] | `nssd-core` | Architectures, engine, runners, reports |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use nssd_core as core;
+pub use nssd_faults as faults;
 pub use nssd_flash as flash;
 pub use nssd_ftl as ftl;
 pub use nssd_host as host;
@@ -60,7 +62,7 @@ pub use nssd_workloads as workloads;
 // The most-used items, flattened for convenience.
 pub use nssd_core::{
     run_closed_loop, run_closed_loop_preconditioned, run_trace, run_trace_preconditioned,
-    Architecture, SimReport, SsdConfig,
+    Architecture, FaultConfig, ReliabilityStats, SimReport, SsdConfig,
 };
 pub use nssd_ftl::GcPolicy;
 pub use nssd_workloads::{PaperWorkload, SyntheticPattern, SyntheticSpec, Trace};

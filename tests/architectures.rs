@@ -1,9 +1,7 @@
 //! Cross-crate integration: the six architectures compared end-to-end, and
 //! the orderings the paper's evaluation rests on.
 
-use networked_ssd::{
-    run_trace, Architecture, GcPolicy, PaperWorkload, SimReport, SsdConfig,
-};
+use networked_ssd::{run_trace, Architecture, GcPolicy, PaperWorkload, SimReport, SsdConfig};
 
 fn io_cfg(arch: Architecture) -> SsdConfig {
     let mut cfg = SsdConfig::tiny(arch);
@@ -72,7 +70,10 @@ fn pin_constrained_mesh_is_strictly_worst() {
 fn split_never_loses_to_plain_pnssd_by_much() {
     // Water-filling split subsumes the greedy single-path choice up to
     // framing/handshake overheads, so it must stay within a few percent.
-    for (workload, seed) in [(PaperWorkload::Exchange1, 1), (PaperWorkload::WebSearch0, 2)] {
+    for (workload, seed) in [
+        (PaperWorkload::Exchange1, 1),
+        (PaperWorkload::WebSearch0, 2),
+    ] {
         let plain = run(Architecture::PnSsd, workload, 400, seed);
         let split = run(Architecture::PnSsdSplit, workload, 400, seed);
         let ratio = split.all.mean.as_ns() as f64 / plain.all.mean.as_ns() as f64;

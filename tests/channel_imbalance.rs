@@ -18,7 +18,10 @@ fn reads_are_more_imbalanced_than_writes() {
         read_cov > write_cov,
         "read imbalance (CoV {read_cov:.3}) should exceed write imbalance ({write_cov:.3})"
     );
-    assert!(write_cov < 0.2, "writes should be near-balanced: {write_cov:.3}");
+    assert!(
+        write_cov < 0.2,
+        "writes should be near-balanced: {write_cov:.3}"
+    );
 }
 
 #[test]

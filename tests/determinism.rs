@@ -58,6 +58,42 @@ fn gc_runs_are_identical_including_gc_stats() {
 }
 
 #[test]
+fn zero_rate_faults_leave_reports_bit_identical() {
+    // The fault subsystem's contract: an all-zero-rate configuration draws
+    // no randomness and changes no timing, even with a different fault
+    // seed — the report is bit-identical to the untouched default.
+    for arch in [
+        Architecture::BaseSsd,
+        Architecture::PSsd,
+        Architecture::PnSsdSplit,
+    ] {
+        let mut cfg = SsdConfig::tiny(arch);
+        cfg.gc.policy = GcPolicy::None;
+        let trace = PaperWorkload::YcsbA.generate(150, cfg.logical_bytes() / 2, 3);
+        let baseline = run_trace(cfg, &trace).unwrap();
+        let mut seeded = cfg;
+        seeded.faults.seed = 0xDEAD_BEEF;
+        let b = run_trace(seeded, &trace).unwrap();
+        assert_eq!(baseline, b, "{arch}");
+        assert!(!baseline.reliability.any_events());
+    }
+}
+
+#[test]
+fn fault_injected_runs_are_identical() {
+    let mut cfg = SsdConfig::tiny(Architecture::PnSsdSplit);
+    cfg.gc.policy = GcPolicy::None;
+    cfg.faults.bit_error.rber = 2e-4;
+    cfg.faults.link.ber = 1e-7;
+    let trace = PaperWorkload::Exchange0.generate(200, cfg.logical_bytes() / 2, 5);
+    let a = run_trace(cfg, &trace).unwrap();
+    let b = run_trace(cfg, &trace).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.reliability, b.reliability);
+    assert!(a.reliability.any_events());
+}
+
+#[test]
 fn different_seeds_produce_different_runs() {
     let mut cfg = SsdConfig::tiny(Architecture::BaseSsd);
     cfg.gc.policy = GcPolicy::None;

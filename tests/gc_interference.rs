@@ -3,9 +3,7 @@
 //! isolation property of spatial GC.
 
 use networked_ssd::ftl::Lpn;
-use networked_ssd::{
-    run_trace_preconditioned, Architecture, GcPolicy, PaperWorkload, SsdConfig,
-};
+use networked_ssd::{run_trace_preconditioned, Architecture, GcPolicy, PaperWorkload, SsdConfig};
 
 fn gc_cfg(arch: Architecture, policy: GcPolicy) -> SsdConfig {
     let mut cfg = SsdConfig::tiny(arch);
@@ -37,7 +35,9 @@ fn gc_preserves_every_logical_page() {
     let trace = PaperWorkload::YcsbA.generate(400, cfg.logical_bytes() / 2, 2);
     let mut sim = SsdSim::new(cfg).expect("config valid");
     let mut rng = sim.rng_mut().clone();
-    sim.ftl_mut().precondition(0.9, 0.4, &mut rng).expect("precondition");
+    sim.ftl_mut()
+        .precondition(0.9, 0.4, &mut rng)
+        .expect("precondition");
     let logical = sim.ftl().logical_pages();
     let filled = (logical as f64 * 0.9) as u64;
     // After a full timed run with spatial GC churn, every preconditioned
@@ -48,7 +48,9 @@ fn gc_preserves_every_logical_page() {
     // Rebuild and replay the same seed to inspect final FTL state.
     let mut sim2 = SsdSim::new(cfg).expect("config valid");
     let mut rng2 = sim2.rng_mut().clone();
-    sim2.ftl_mut().precondition(0.9, 0.4, &mut rng2).expect("precondition");
+    sim2.ftl_mut()
+        .precondition(0.9, 0.4, &mut rng2)
+        .expect("precondition");
     for l in 0..filled {
         assert!(
             sim2.ftl().lookup(Lpn::new(l)).is_some(),
@@ -65,9 +67,13 @@ fn spatial_epochs_alternate_groups() {
     let trace = PaperWorkload::Build0.generate(600, cfg.logical_bytes() / 2, 3);
     let mut sim = SsdSim::new(cfg).expect("config valid");
     let mut rng = sim.rng_mut().clone();
-    sim.ftl_mut().precondition(0.85, 0.3, &mut rng).expect("precondition");
+    sim.ftl_mut()
+        .precondition(0.85, 0.3, &mut rng)
+        .expect("precondition");
     let max_lpn = (sim.ftl().logical_pages() as f64 * 0.85) as u64;
-    sim.ftl_mut().pressurize(max_lpn, &mut rng).expect("pressurize");
+    sim.ftl_mut()
+        .pressurize(max_lpn, &mut rng)
+        .expect("pressurize");
     let report = sim.run(Drive::OpenLoop(trace.records().to_vec()));
     // Multiple GC events must have completed, each one an epoch swap.
     assert!(
@@ -81,9 +87,8 @@ fn spatial_epochs_alternate_groups() {
 fn preemptive_gc_interferes_less_than_parallel_on_base_ssd() {
     // With bursty, gap-rich traffic, semi-preemptive GC hides most copies
     // in idle windows; PaGC does not even try.
-    let trace_for = |cfg: &SsdConfig| {
-        PaperWorkload::DevTools0.generate(400, cfg.logical_bytes() / 2, 12)
-    };
+    let trace_for =
+        |cfg: &SsdConfig| PaperWorkload::DevTools0.generate(400, cfg.logical_bytes() / 2, 12);
     let pagc_cfg = gc_cfg(Architecture::BaseSsd, GcPolicy::Parallel);
     let pre_cfg = gc_cfg(Architecture::BaseSsd, GcPolicy::Preemptive);
     let pagc = run_trace_preconditioned(pagc_cfg, &trace_for(&pagc_cfg), 0.85, 0.3).unwrap();
@@ -105,7 +110,11 @@ fn spatial_gc_levels_wear_across_ways() {
     let cfg = gc_cfg(Architecture::PnSsd, GcPolicy::Spatial);
     let trace = PaperWorkload::Build0.generate(1200, cfg.logical_bytes() / 2, 77);
     let report = run_trace_preconditioned(cfg, &trace, 0.85, 0.3).expect("run");
-    assert!(report.gc.events >= 4, "need several epochs: {}", report.gc.events);
+    assert!(
+        report.gc.events >= 4,
+        "need several epochs: {}",
+        report.gc.events
+    );
     let imbalance = report.wear.way_imbalance();
     assert!(
         imbalance < 3.0,

@@ -1,0 +1,153 @@
+//! Packet codec round-trips and error paths (Fig 8 formats + the CRC-8
+//! frame check the fault model's NAK/retransmission protocol rests on).
+
+use networked_ssd::flash::FlashCommand;
+use networked_ssd::interconnect::{
+    crc8, ControlPacket, DataPacket, PacketError, PacketType, DATA_LEN_FLITS, FLIT_BYTES,
+};
+
+#[test]
+fn control_header_roundtrips_every_field_combination() {
+    for t in 0..=3u8 {
+        for c in 0..=3u8 {
+            for r in 0..=3u8 {
+                let p = ControlPacket {
+                    command_flits: t,
+                    column_flits: c,
+                    row_flits: r,
+                };
+                let enc = p.encode_header().unwrap();
+                assert_eq!(ControlPacket::decode_header(enc).unwrap(), p);
+                assert_eq!(p.flits(), 1 + (t + c + r) as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn control_header_rejects_overflow_fields() {
+    for p in [
+        ControlPacket {
+            command_flits: 4,
+            column_flits: 0,
+            row_flits: 0,
+        },
+        ControlPacket {
+            command_flits: 0,
+            column_flits: 9,
+            row_flits: 0,
+        },
+        ControlPacket {
+            command_flits: 0,
+            column_flits: 0,
+            row_flits: 200,
+        },
+    ] {
+        assert!(matches!(
+            p.encode_header(),
+            Err(PacketError::FieldOverflow(_))
+        ));
+    }
+}
+
+#[test]
+fn decoding_the_wrong_packet_type_fails() {
+    let data_first_flit = DataPacket::new(4096).encode_prefix()[0];
+    assert!(ControlPacket::decode_header(data_first_flit).is_err());
+    let ctrl_flit = ControlPacket::for_command(FlashCommand::ReadPage)
+        .encode_header()
+        .unwrap();
+    assert!(matches!(
+        DataPacket::decode_prefix(&[ctrl_flit, 0, 0]),
+        Err(PacketError::UnknownType(_))
+    ));
+    // Reserved type encodings never decode.
+    assert!(PacketType::from_bits(0b10).is_err());
+    assert!(PacketType::from_bits(0b11).is_err());
+}
+
+#[test]
+fn data_prefix_roundtrips_across_the_length_range() {
+    for bytes in [1u32, 2, 512, 4096, 16 * 1024, 64 * 1024] {
+        let p = DataPacket::new(bytes);
+        assert_eq!(DataPacket::decode_prefix(&p.encode_prefix()).unwrap(), p);
+        assert_eq!(
+            p.flits(),
+            1 + DATA_LEN_FLITS as u64 + (bytes / FLIT_BYTES) as u64
+        );
+    }
+}
+
+#[test]
+fn truncated_data_prefix_is_rejected() {
+    assert_eq!(
+        DataPacket::decode_prefix(&[0b0100_0000]),
+        Err(PacketError::Truncated)
+    );
+    assert_eq!(DataPacket::decode_prefix(&[]), Err(PacketError::Truncated));
+    assert_eq!(
+        DataPacket::decode_prefix_crc(&[0b0100_0000, 0, 0]),
+        Err(PacketError::Truncated)
+    );
+}
+
+#[test]
+fn crc8_matches_known_vectors() {
+    // CRC-8/ATM check value for "123456789" is 0xF4.
+    assert_eq!(crc8(b"123456789"), 0xF4);
+    assert_eq!(crc8(&[]), 0);
+    // Any single-bit flip changes the CRC (linearity over a degree-8
+    // primitive-free polynomial still detects all single-bit errors).
+    let base = crc8(&[0xA5, 0x5A]);
+    for bit in 0..16 {
+        let mut flipped = [0xA5u8, 0x5A];
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        assert_ne!(crc8(&flipped), base, "bit {bit}");
+    }
+}
+
+#[test]
+fn crc_protected_control_header_detects_corruption() {
+    let p = ControlPacket::for_command(FlashCommand::ProgramPage);
+    let frame = p.encode_header_crc().unwrap();
+    assert_eq!(ControlPacket::decode_header_crc(frame).unwrap(), p);
+    // Flip one header bit: the frame check must catch it.
+    let corrupted = [frame[0] ^ 0b0000_0100, frame[1]];
+    assert!(matches!(
+        ControlPacket::decode_header_crc(corrupted),
+        Err(PacketError::CrcMismatch { .. })
+    ));
+    // Corrupting the CRC flit itself is also a mismatch.
+    let bad_crc = [frame[0], frame[1] ^ 0xFF];
+    assert!(matches!(
+        ControlPacket::decode_header_crc(bad_crc),
+        Err(PacketError::CrcMismatch { .. })
+    ));
+}
+
+#[test]
+fn crc_protected_data_prefix_detects_corruption() {
+    let p = DataPacket::new(16 * 1024);
+    let frame = p.encode_prefix_crc();
+    assert_eq!(DataPacket::decode_prefix_crc(&frame).unwrap(), p);
+    for byte in 0..4 {
+        let mut corrupted = frame;
+        corrupted[byte] ^= 0x10;
+        let got = DataPacket::decode_prefix_crc(&corrupted);
+        assert!(
+            matches!(got, Err(PacketError::CrcMismatch { .. })),
+            "byte {byte}: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn packet_errors_render_usefully() {
+    let e = PacketError::CrcMismatch {
+        got: 0x12,
+        want: 0x34,
+    };
+    let s = e.to_string();
+    assert!(s.contains("0x12") && s.contains("0x34"));
+    assert!(PacketError::Truncated.to_string().contains("truncated"));
+}

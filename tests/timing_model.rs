@@ -32,7 +32,10 @@ fn host_ns(bytes: u64) -> u64 {
 fn base_ssd_single_page_read() {
     // cmd+addr (7 B @ 1 GT/s) + tR (3 us) + data-out (4096 ns) + host.
     let expect = 7 + 3_000 + PAGE + host_ns(PAGE);
-    assert_eq!(run_one(Architecture::BaseSsd, IoOp::Read, PAGE as u32), expect);
+    assert_eq!(
+        run_one(Architecture::BaseSsd, IoOp::Read, PAGE as u32),
+        expect
+    );
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! serialization, import, characterization — feeding the simulator.
 
 use networked_ssd::workloads::{import_msr, MsrImportOptions, TraceStats};
-use networked_ssd::{
-    run_trace, Architecture, GcPolicy, PaperWorkload, SsdConfig, Trace,
-};
+use networked_ssd::{run_trace, Architecture, GcPolicy, PaperWorkload, SsdConfig, Trace};
 
 fn cfg() -> SsdConfig {
     let mut cfg = SsdConfig::tiny(Architecture::PSsd);
