@@ -1,0 +1,34 @@
+//! Regenerates the golden-report snapshots committed under `tests/golden/`.
+//!
+//! Run after any *deliberate* behavioural change, then review the JSON diff
+//! and commit it alongside the code change:
+//!
+//! ```text
+//! cargo run --release -p nssd-bench --bin bless_goldens
+//! git diff tests/golden/
+//! ```
+//!
+//! Refuses to bless a run the shadow oracle objects to — a snapshot of a
+//! broken simulator must never become the reference.
+
+use std::fs;
+use std::path::PathBuf;
+
+use nssd_core::golden::{canonical_json, matrix};
+
+fn main() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    fs::create_dir_all(&dir).expect("create tests/golden");
+    for case in matrix() {
+        let name = case.file_name();
+        let report = case.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            report.oracle.violations.is_empty(),
+            "{name}: refusing to bless a run with oracle violations:\n{}",
+            report.oracle.violations.join("\n")
+        );
+        let path = dir.join(&name);
+        fs::write(&path, canonical_json(&report)).expect("write snapshot");
+        println!("blessed {}", path.display());
+    }
+}

@@ -265,6 +265,12 @@ pub struct SsdConfig {
     /// Fault injection (off by default: a zero-rate configuration draws no
     /// randomness and leaves every report bit-identical).
     pub faults: FaultConfig,
+    /// Run the functional shadow oracle lockstep with the simulation,
+    /// cross-checking every host read and GC action and sweeping the
+    /// conservation invariants. Off by default: the shadow map costs memory
+    /// proportional to the logical capacity and the sweeps cost time per
+    /// erase, which matters on the scaled geometries.
+    pub oracle: bool,
 }
 
 impl SsdConfig {
@@ -290,6 +296,7 @@ impl SsdConfig {
             pj_per_byte_hop: 18.0,
             seed: 0x55D,
             faults: FaultConfig::off(),
+            oracle: false,
         }
     }
 

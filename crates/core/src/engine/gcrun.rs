@@ -398,6 +398,12 @@ impl SsdSim {
             return;
         };
         self.gc.copies[c].dst = Some(rel.dst);
+        if let Some(oracle) = self.oracle.as_mut() {
+            // The mapping commits at relocate() above, so the shadow map
+            // must move now — not at program completion — to stay lockstep
+            // with what reads will observe.
+            oracle.note_relocation(rel, self.now);
+        }
         let dst_addr = self.cfg.geometry.page_addr(rel.dst);
         let tag = Traffic::Gc.tag();
         let page = self.cfg.geometry.page_bytes;
@@ -568,9 +574,20 @@ impl SsdSim {
             // The erase failed: the block grows bad and is retired instead
             // of rejoining the free pool (spare capacity absorbs the loss).
             self.ftl.retire_block(pbn);
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.note_retire(pbn, self.now);
+            }
         } else {
             self.ftl.erase_block(pbn);
             self.gc.blocks_erased += 1;
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.note_erase(pbn, self.now);
+            }
+        }
+        if let Some(oracle) = self.oracle.as_mut() {
+            // Every erase/retire is a conservation checkpoint: page counts
+            // and erase-count monotonicity are cheapest to audit here.
+            oracle.check_invariants(&self.ftl, self.now);
         }
         debug_assert!(self.gc.victims_left > 0);
         self.gc.victims_left -= 1;

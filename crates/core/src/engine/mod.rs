@@ -9,11 +9,14 @@
 mod gcrun;
 mod iopath;
 
+use std::cell::RefCell;
+
 use nssd_faults::{FaultEngine, ReadFault};
-use nssd_flash::{FlashChip, PageAddr, Ppn};
-use nssd_ftl::{Ftl, FtlConfig, FtlError, Lpn};
+use nssd_flash::{FlashChip, PageAddr, Pbn, Ppn};
+use nssd_ftl::{Ftl, FtlConfig, FtlError, Lpn, Relocation};
 use nssd_host::{HostPipes, IoOp, IoRequest};
 use nssd_interconnect::{DedicatedBus, Mesh, MeshParams, Omnibus, PacketBus};
+use nssd_oracle::Oracle;
 use nssd_sim::DetRng;
 use nssd_sim::{EventQueue, Histogram, Reservation, Resource, SimTime};
 
@@ -52,6 +55,15 @@ enum Event {
     GcEraseDone(usize),
     /// The configured whole-chip failure fires.
     ChipFail,
+}
+
+/// One functional GC action captured during an instant (untimed)
+/// collection, replayed to the shadow oracle *in order* afterwards — an
+/// erased block can be reused as a relocation destination within the same
+/// collection, so grouping by kind would replay incorrectly.
+enum GcNote {
+    Rel(Relocation),
+    Erase(Pbn),
 }
 
 #[derive(Debug)]
@@ -135,6 +147,12 @@ pub struct SsdSim {
     // GC.
     pub(crate) gc: GcRuntime,
     pub(crate) rng: DetRng,
+    // Shadow oracle (None unless `cfg.oracle`), cross-checking every
+    // functional action in lockstep.
+    pub(crate) oracle: Option<Oracle>,
+    /// Whether the oracle has adopted the FTL state built before `run()`
+    /// (preconditioning happens outside the observed event stream).
+    oracle_synced: bool,
     // Fault injection.
     pub(crate) faults: FaultEngine,
     /// tPROG completion time per block (indexed by raw physical block
@@ -176,6 +194,8 @@ impl SsdSim {
             ftl.mark_manufacture_bad(cfg.faults.bad_blocks.manufacture_rate, faults.rng_mut());
         faults.note_manufacture_bad(marked as u64);
 
+        let oracle = cfg.oracle.then(|| Oracle::new(g, ftl.logical_pages()));
+
         let chips = (0..g.chip_count())
             .map(|_| FlashChip::new(&g, cfg.timing))
             .collect();
@@ -208,6 +228,8 @@ impl SsdSim {
             inflight_io: 0,
             gc: GcRuntime::new(cfg.gc.policy),
             rng: DetRng::seed_from_u64(cfg.seed),
+            oracle,
+            oracle_synced: false,
             faults,
             programmed_at: vec![SimTime::ZERO; g.block_count() as usize],
             all_lat: Histogram::new(),
@@ -274,6 +296,21 @@ impl SsdSim {
         self.now
     }
 
+    /// Makes the shadow oracle (when enabled) adopt the FTL's current state
+    /// as ground truth. Called automatically at the start of [`SsdSim::run`]
+    /// if it has not happened yet, so preconditioning done via
+    /// [`SsdSim::ftl_mut`] is trusted rather than flagged. Mutation
+    /// self-tests call it explicitly *before* corrupting the FTL, so the
+    /// corruption stays visible to the oracle.
+    pub fn oracle_sync(&mut self) {
+        if let Some(oracle) = self.oracle.as_mut() {
+            if !self.oracle_synced {
+                oracle.sync_from_ftl(&self.ftl);
+                self.oracle_synced = true;
+            }
+        }
+    }
+
     fn page_bytes(&self) -> u32 {
         self.cfg.geometry.page_bytes
     }
@@ -332,6 +369,7 @@ impl SsdSim {
         };
         self.closed_loop_depth = depth;
         self.arrivals = drive.requests().to_vec();
+        self.oracle_sync();
 
         if let Some(spec) = self.cfg.faults.chip_failure {
             self.queue.schedule(spec.at, Event::ChipFail);
@@ -392,6 +430,11 @@ impl SsdSim {
         let out = self.ftl.fail_chip(spec.channel, spec.way);
         self.faults
             .note_chip_failure(out.pages_remapped, out.pages_lost);
+        // The rebuild rewrites mappings outside the observed event stream
+        // (and may legitimately drop pages): resync the shadow model.
+        if let Some(oracle) = self.oracle.as_mut() {
+            oracle.sync_from_ftl(&self.ftl);
+        }
     }
 
     /// Samples the bit-error outcome of reading the page at `addr`, looking
@@ -519,6 +562,9 @@ impl SsdSim {
                     return;
                 }
             };
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.note_host_write(lpn, ppn, self.now);
+            }
             let addr = self.cfg.geometry.page_addr(ppn);
             let t = self.trans.len();
             self.trans.push(TransState {
@@ -540,7 +586,29 @@ impl SsdSim {
         // studies are not polluted by GC timing — and crucially *before*
         // free space hits zero, when relocation itself would have no room.
         if self.cfg.gc.policy == nssd_ftl::GcPolicy::None && self.ftl.needs_gc() {
-            let _ = self.ftl.instant_gc(&mut self.rng);
+            match self.oracle.as_mut() {
+                None => {
+                    let _ = self.ftl.instant_gc(&mut self.rng);
+                }
+                Some(oracle) => {
+                    // Both observation hooks would need the oracle at once;
+                    // capture the interleaved action stream instead and
+                    // replay it in order afterwards.
+                    let notes = RefCell::new(Vec::new());
+                    let _ = self.ftl.instant_gc_with(
+                        &mut self.rng,
+                        &mut |rel| notes.borrow_mut().push(GcNote::Rel(rel)),
+                        &mut |pbn| notes.borrow_mut().push(GcNote::Erase(pbn)),
+                    );
+                    for note in notes.into_inner() {
+                        match note {
+                            GcNote::Rel(rel) => oracle.note_relocation(rel, self.now),
+                            GcNote::Erase(pbn) => oracle.note_erase(pbn, self.now),
+                        }
+                    }
+                    oracle.check_invariants(&self.ftl, self.now);
+                }
+            }
         }
         match self.ftl.write(lpn) {
             Ok(out) => Some(out.ppn),
@@ -552,7 +620,14 @@ impl SsdSim {
     fn issue_read_pages(&mut self, req: usize, first_page: u64, pages: u32) {
         for p in 0..pages {
             let lpn = Lpn::new(first_page + p as u64);
-            match self.ftl.lookup(lpn) {
+            let mapped = self.ftl.lookup(lpn);
+            if let Some(oracle) = self.oracle.as_mut() {
+                // Checked at issue time: this is the translation the data
+                // will actually be served from, and the shadow map cannot
+                // drift underneath it while the transfer is in flight.
+                oracle.check_host_read(lpn, mapped, self.now);
+            }
+            match mapped {
                 Some(ppn) => {
                     let addr = self.cfg.geometry.page_addr(ppn);
                     let t = self.trans.len();
@@ -623,7 +698,14 @@ impl SsdSim {
         }
     }
 
-    fn report(self) -> SimReport {
+    fn report(mut self) -> SimReport {
+        let oracle_summary = match self.oracle.take() {
+            Some(mut oracle) => {
+                oracle.final_check(&self.ftl, self.now);
+                oracle.summary()
+            }
+            None => Default::default(),
+        };
         let windows = (self.last_completion.as_ns() / self.cfg.util_window.as_ns() + 1) as usize;
         let per_channel = |tag: usize| -> Vec<Vec<f64>> {
             self.h_channels
@@ -722,6 +804,7 @@ impl SsdSim {
             channel_util: util,
             energy,
             reliability: self.faults.stats(),
+            oracle: oracle_summary,
         }
     }
 }

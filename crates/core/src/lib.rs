@@ -26,14 +26,17 @@
 
 mod config;
 mod engine;
+pub mod golden;
 mod report;
 mod runner;
 
 pub use config::{Architecture, EccConfig, EccMode, SsdConfig, Traffic};
 pub use engine::{Drive, SsdSim};
+pub use golden::GoldenCase;
 pub use nssd_faults::{
     BadBlockConfig, BitErrorConfig, ChipFailureSpec, FaultConfig, LinkFaultConfig, ReliabilityStats,
 };
+pub use nssd_oracle::{Oracle, OracleSummary};
 pub use report::{ChannelUtilSummary, EnergySummary, GcSummary, LatencySummary, SimReport};
 pub use runner::{
     run_closed_loop, run_closed_loop_preconditioned, run_trace, run_trace_preconditioned,

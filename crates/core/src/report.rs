@@ -4,6 +4,7 @@ use core::fmt;
 
 use nssd_faults::ReliabilityStats;
 use nssd_ftl::{FtlStats, WearSummary};
+use nssd_oracle::OracleSummary;
 use nssd_sim::{Histogram, RunningStats, SimTime};
 
 use crate::{Architecture, Traffic};
@@ -176,6 +177,9 @@ pub struct SimReport {
     /// Reliability counters from fault injection (all zero when faults are
     /// off).
     pub reliability: ReliabilityStats,
+    /// Shadow-oracle observations (default / `enabled: false` when the
+    /// oracle was off).
+    pub oracle: OracleSummary,
 }
 
 impl SimReport {
@@ -215,6 +219,15 @@ impl fmt::Display for SimReport {
         }
         if self.reliability.any_events() {
             writeln!(f, "  reliability: {}", self.reliability)?;
+        }
+        if self.oracle.enabled {
+            writeln!(
+                f,
+                "  oracle: {} checks, {} violations, digest {:016x}",
+                self.oracle.checks,
+                self.oracle.violations.len(),
+                self.oracle.functional_digest
+            )?;
         }
         Ok(())
     }
@@ -257,6 +270,7 @@ mod tests {
                 per_way_mean: vec![0.0],
             },
             reliability: ReliabilityStats::default(),
+            oracle: OracleSummary::default(),
         }
     }
 

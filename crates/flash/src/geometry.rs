@@ -348,6 +348,20 @@ impl Geometry {
         debug_assert!(page < self.pages_per_block);
         Ppn::new(pbn.raw() * self.pages_per_block as u64 + page as u64)
     }
+
+    /// Every [`Ppn`] of block `pbn`, in page order — the enumeration an
+    /// erase touches (shadow-model and invariant checkers walk this).
+    pub fn block_ppns(&self, pbn: Pbn) -> impl Iterator<Item = Ppn> {
+        let base = pbn.raw() * self.pages_per_block as u64;
+        (0..self.pages_per_block as u64).map(move |p| Ppn::new(base + p))
+    }
+
+    /// Dense plane-unit index of the plane containing `pbn`: the bucket a
+    /// per-plane free list or page-conservation account lives in
+    /// (channel-major, then way, die, plane).
+    pub fn plane_unit_of(&self, pbn: Pbn) -> usize {
+        (pbn.raw() / self.blocks_per_plane as u64) as usize
+    }
 }
 
 impl Default for Geometry {
@@ -438,6 +452,34 @@ mod tests {
         let pbn = g.pbn_of(ppn);
         assert_eq!(g.block_addr(pbn), addr.block_addr());
         assert_eq!(g.ppn_in_block(pbn, 7), ppn);
+    }
+
+    #[test]
+    fn block_ppns_covers_exactly_the_block() {
+        let g = Geometry::tiny();
+        let pbn = Pbn::new(5);
+        let ppns: Vec<Ppn> = g.block_ppns(pbn).collect();
+        assert_eq!(ppns.len(), g.pages_per_block as usize);
+        for (i, &ppn) in ppns.iter().enumerate() {
+            assert_eq!(g.pbn_of(ppn), pbn);
+            assert_eq!(g.page_addr(ppn).page, i as u32);
+        }
+    }
+
+    #[test]
+    fn plane_unit_of_is_dense_and_channel_major() {
+        let g = Geometry::tiny();
+        let mut last = 0usize;
+        for raw in 0..g.block_count() {
+            let unit = g.plane_unit_of(Pbn::new(raw));
+            assert!(unit < g.plane_count() as usize);
+            assert!(unit >= last || unit == last);
+            last = unit;
+        }
+        assert_eq!(
+            g.plane_unit_of(Pbn::new(g.block_count() - 1)),
+            g.plane_count() as usize - 1
+        );
     }
 
     #[test]

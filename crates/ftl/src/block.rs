@@ -352,6 +352,148 @@ impl BlockTable {
         self.op_clock
     }
 
+    /// Per-plane page conservation accounting: how every physical page of
+    /// `plane_unit` is classified right now. The oracle's conservation
+    /// invariant checks that the four categories always sum to the plane's
+    /// geometric capacity.
+    pub fn plane_accounting(&self, plane_unit: usize) -> PlaneAccounting {
+        let bpp = self.geometry.blocks_per_plane as u64;
+        let pages = self.geometry.pages_per_block as u64;
+        let mut acc = PlaneAccounting::default();
+        for raw in plane_unit as u64 * bpp..(plane_unit as u64 + 1) * bpp {
+            let meta = &self.blocks[raw as usize];
+            acc.blocks += 1;
+            match meta.state {
+                BlockState::Bad => {
+                    acc.bad_blocks += 1;
+                    acc.bad_pages += pages;
+                }
+                state => {
+                    if state == BlockState::Free {
+                        acc.free_blocks += 1;
+                    }
+                    acc.valid_pages += meta.valid_count as u64;
+                    acc.invalid_pages += (meta.write_ptr - meta.valid_count) as u64;
+                    acc.unwritten_pages += pages - meta.write_ptr as u64;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Snapshot of every block's erase count, indexed by raw PBN — the
+    /// oracle compares consecutive snapshots to enforce monotonicity.
+    pub fn erase_counts(&self) -> Vec<u32> {
+        self.blocks.iter().map(|b| b.erase_count).collect()
+    }
+
+    /// Structural self-check of every block and free list. Returns one
+    /// message per violated invariant (empty = clean): bitmap popcounts
+    /// match cached valid counts, no valid bit sits at or above the write
+    /// pointer, lifecycle states agree with the counters, free lists hold
+    /// exactly the Free blocks, and each plane conserves its page capacity.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let pages = self.geometry.pages_per_block;
+        let mut free_state_total = 0u64;
+        let mut bad_total = 0u64;
+        for (pbn, meta) in self.iter() {
+            let popcount: u32 = meta.valid.iter().map(|w| w.count_ones()).sum();
+            if popcount != meta.valid_count {
+                problems.push(format!(
+                    "block {pbn}: bitmap popcount {popcount} != valid_count {}",
+                    meta.valid_count
+                ));
+            }
+            if meta.write_ptr > pages {
+                problems.push(format!(
+                    "block {pbn}: write_ptr {} beyond {pages} pages",
+                    meta.write_ptr
+                ));
+            }
+            if (meta.write_ptr..pages).any(|p| meta.is_valid(p)) {
+                problems.push(format!(
+                    "block {pbn}: valid bit at or above write_ptr {}",
+                    meta.write_ptr
+                ));
+            }
+            match meta.state {
+                BlockState::Free => {
+                    free_state_total += 1;
+                    if meta.write_ptr != 0 || meta.valid_count != 0 {
+                        problems.push(format!(
+                            "block {pbn}: Free but write_ptr {} / valid {}",
+                            meta.write_ptr, meta.valid_count
+                        ));
+                    }
+                }
+                BlockState::Open => {
+                    if meta.write_ptr >= pages {
+                        problems.push(format!("block {pbn}: Open at write_ptr {}", meta.write_ptr));
+                    }
+                }
+                BlockState::Full => {
+                    if meta.write_ptr != pages {
+                        problems.push(format!(
+                            "block {pbn}: Full at write_ptr {} of {pages}",
+                            meta.write_ptr
+                        ));
+                    }
+                }
+                BlockState::Bad => {
+                    bad_total += 1;
+                    if meta.valid_count != 0 {
+                        problems.push(format!(
+                            "block {pbn}: Bad with {} valid pages",
+                            meta.valid_count
+                        ));
+                    }
+                }
+            }
+        }
+        let listed: u64 = self.free.iter().map(|f| f.len() as u64).sum();
+        if listed != self.free_total {
+            problems.push(format!(
+                "free lists hold {listed} blocks but free_total is {}",
+                self.free_total
+            ));
+        }
+        if free_state_total != self.free_total {
+            problems.push(format!(
+                "{free_state_total} blocks in Free state but free_total is {}",
+                self.free_total
+            ));
+        }
+        if bad_total != self.retired {
+            problems.push(format!(
+                "{bad_total} blocks in Bad state but retired counter is {}",
+                self.retired
+            ));
+        }
+        for (unit, list) in self.free.iter().enumerate() {
+            for &local in list {
+                let raw = unit as u64 * self.geometry.blocks_per_plane as u64 + local as u64;
+                if self.blocks[raw as usize].state != BlockState::Free {
+                    problems.push(format!(
+                        "free list of plane {unit} lists non-Free block {}",
+                        Pbn::new(raw)
+                    ));
+                }
+            }
+        }
+        let per_plane = self.geometry.blocks_per_plane as u64 * pages as u64;
+        for unit in 0..self.geometry.plane_count() as usize {
+            let acc = self.plane_accounting(unit);
+            if acc.page_total() != per_plane {
+                problems.push(format!(
+                    "plane {unit} accounts for {} of {per_plane} pages",
+                    acc.page_total()
+                ));
+            }
+        }
+        problems
+    }
+
     /// Summarizes wear (erase counts) across the device, including per-way
     /// means — the quantity spatial GC's epoch swap is designed to level
     /// (§VI-A: "uniformly increase the age of the flash memory").
@@ -384,6 +526,35 @@ impl BlockTable {
                 .map(|(s, c)| if c == 0 { 0.0 } else { s as f64 / c as f64 })
                 .collect(),
         }
+    }
+}
+
+/// How every physical page of one plane is classified at an instant.
+///
+/// Conservation invariant: `valid + invalid + unwritten + bad` pages equal
+/// the plane's geometric capacity (`blocks × pages_per_block`), always.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaneAccounting {
+    /// Pages holding live data.
+    pub valid_pages: u64,
+    /// Pages written and since invalidated (garbage).
+    pub invalid_pages: u64,
+    /// Pages above the write pointer of non-Bad blocks (erased capacity).
+    pub unwritten_pages: u64,
+    /// Capacity lost to retired (Bad) blocks.
+    pub bad_pages: u64,
+    /// Blocks currently Free.
+    pub free_blocks: u64,
+    /// Blocks currently Bad.
+    pub bad_blocks: u64,
+    /// Total blocks in the plane.
+    pub blocks: u64,
+}
+
+impl PlaneAccounting {
+    /// Sum over every page category; must equal the plane's capacity.
+    pub fn page_total(&self) -> u64 {
+        self.valid_pages + self.invalid_pages + self.unwritten_pages + self.bad_pages
     }
 }
 
@@ -559,6 +730,56 @@ mod tests {
         }
         assert!(t.take_free_block(0).is_none());
         assert!(t.take_free_block(1).is_some());
+    }
+
+    #[test]
+    fn plane_accounting_conserves_capacity() {
+        let mut t = table();
+        let g = *t.geometry();
+        let per_plane = g.blocks_per_plane as u64 * g.pages_per_block as u64;
+        // Fresh plane: everything unwritten.
+        let fresh = t.plane_accounting(0);
+        assert_eq!(fresh.unwritten_pages, per_plane);
+        assert_eq!(fresh.free_blocks, g.blocks_per_plane as u64);
+        // Mix every category into plane 0: writes, garbage, a bad block.
+        let pbn = t.take_free_block(0).unwrap();
+        let a = t.program_next_page(pbn).unwrap();
+        t.program_next_page(pbn).unwrap();
+        t.invalidate(a);
+        t.mark_bad(Pbn::new(1));
+        let acc = t.plane_accounting(0);
+        assert_eq!(acc.valid_pages, 1);
+        assert_eq!(acc.invalid_pages, 1);
+        assert_eq!(acc.bad_blocks, 1);
+        assert_eq!(acc.bad_pages, g.pages_per_block as u64);
+        assert_eq!(acc.page_total(), per_plane);
+        assert!(t.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn erase_counts_snapshot_tracks_erases() {
+        let mut t = table();
+        let pbn = t.take_free_block(0).unwrap();
+        let ppn = t.program_next_page(pbn).unwrap();
+        t.invalidate(ppn);
+        t.erase(pbn);
+        let counts = t.erase_counts();
+        assert_eq!(counts[pbn.raw() as usize], 1);
+        assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn check_invariants_accepts_all_lifecycle_states() {
+        let mut t = table();
+        let pbn = t.take_free_block(0).unwrap();
+        let pages = t.geometry().pages_per_block;
+        for _ in 0..pages {
+            t.program_next_page(pbn).unwrap();
+        }
+        let open = t.take_free_block(1).unwrap();
+        t.program_next_page(open).unwrap();
+        t.mark_bad(Pbn::new(2));
+        assert!(t.check_invariants().is_empty());
     }
 
     #[test]

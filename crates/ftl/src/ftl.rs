@@ -296,6 +296,11 @@ impl Ftl {
         self.mapping.lookup(lpn)
     }
 
+    /// Number of currently mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapping.mapped_pages()
+    }
+
     /// Whether `ppn` currently holds live data.
     pub fn is_valid(&self, ppn: Ppn) -> bool {
         self.blocks.is_valid(ppn)
@@ -455,6 +460,23 @@ impl Ftl {
     ///
     /// [`FtlError::OutOfSpace`] if relocation destinations run out.
     pub fn instant_gc<R: Rng>(&mut self, rng: &mut R) -> Result<(), FtlError> {
+        self.instant_gc_with(rng, &mut |_| {}, &mut |_| {})
+    }
+
+    /// [`Ftl::instant_gc`] with observation hooks: `on_relocate` fires for
+    /// every page copy and `on_erase` after every block erase, so a lockstep
+    /// shadow model (the oracle) can track untimed GC the engine performs
+    /// outside its event loop.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if relocation destinations run out.
+    pub fn instant_gc_with<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        on_relocate: &mut dyn FnMut(Relocation),
+        on_erase: &mut dyn FnMut(Pbn),
+    ) -> Result<(), FtlError> {
         let all = WayMask::all(self.geometry.ways);
         while self.needs_gc() {
             let victims = self.select_gc_victims(all, rng);
@@ -465,9 +487,12 @@ impl Ftl {
             }
             for pbn in victims {
                 for (lpn, src) in self.live_pages(pbn) {
-                    self.relocate(lpn, src, all)?;
+                    if let Some(rel) = self.relocate(lpn, src, all)? {
+                        on_relocate(rel);
+                    }
                 }
                 self.erase_block(pbn);
+                on_erase(pbn);
             }
         }
         Ok(())
@@ -644,6 +669,35 @@ impl Ftl {
     pub fn check_consistency(&self) -> bool {
         self.mapping.check_consistency()
             && self.mapping.mapped_pages() == self.blocks.total_valid_pages()
+    }
+
+    /// Full structural self-check: block-table invariants plus the
+    /// mapping/valid-count agreement. Returns one message per violated
+    /// invariant (empty = clean); the oracle funnels these into its
+    /// violation log.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut problems = self.blocks.check_invariants();
+        if !self.mapping.check_consistency() {
+            problems.push("mapping forward/reverse tables disagree".into());
+        }
+        let mapped = self.mapping.mapped_pages();
+        let valid = self.blocks.total_valid_pages();
+        if mapped != valid {
+            problems.push(format!("{mapped} mapped pages but {valid} valid pages"));
+        }
+        problems
+    }
+
+    /// Silently swaps the physical pages of two mapped LPNs — a deliberate
+    /// mapping corruption that stays invisible to every structural check
+    /// (see [`MappingTable::debug_swap`]). Mutation hook for oracle
+    /// self-tests only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either LPN is unmapped or out of range.
+    pub fn debug_swap_mapping(&mut self, a: Lpn, b: Lpn) {
+        self.mapping.debug_swap(a, b);
     }
 }
 

@@ -41,7 +41,7 @@ mod mapping;
 mod victim;
 
 pub use allocator::{AllocPolicy, OutOfSpace, PageAllocator, WayMask};
-pub use block::{BlockMeta, BlockState, BlockTable, WearSummary};
+pub use block::{BlockMeta, BlockState, BlockTable, PlaneAccounting, WearSummary};
 pub use ftl::{ChipFailureOutcome, Ftl, FtlConfig, FtlError, FtlStats, Relocation, WriteOutcome};
 pub use gc::{GcConfig, GcPolicy, SpatialGroups};
 pub use mapping::{Lpn, MappingTable};

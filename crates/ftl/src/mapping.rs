@@ -140,6 +140,28 @@ impl MappingTable {
         Some(Ppn::new(old))
     }
 
+    /// Swaps the backing pages of two mapped LPNs *consistently* — both the
+    /// forward and the reverse entries move, so the corruption is invisible
+    /// to [`MappingTable::check_consistency`]. This models a silent FTL bug
+    /// (data served from the wrong page) and exists solely as a mutation
+    /// hook for oracle self-tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either LPN is unmapped or out of range.
+    pub fn debug_swap(&mut self, a: Lpn, b: Lpn) {
+        let pa = self.l2p[a.raw() as usize];
+        let pb = self.l2p[b.raw() as usize];
+        assert!(
+            pa != UNMAPPED && pb != UNMAPPED,
+            "debug_swap requires two mapped LPNs"
+        );
+        self.l2p[a.raw() as usize] = pb;
+        self.l2p[b.raw() as usize] = pa;
+        self.p2l[pa as usize] = b.raw();
+        self.p2l[pb as usize] = a.raw();
+    }
+
     /// Checks the forward/reverse consistency invariant; used by tests.
     pub fn check_consistency(&self) -> bool {
         let mut count = 0;
@@ -201,6 +223,27 @@ mod tests {
         let mut m = MappingTable::new(10, 20);
         m.map(Lpn::new(1), Ppn::new(2));
         m.map(Lpn::new(3), Ppn::new(2));
+    }
+
+    #[test]
+    fn debug_swap_stays_internally_consistent() {
+        let mut m = MappingTable::new(10, 20);
+        m.map(Lpn::new(1), Ppn::new(4));
+        m.map(Lpn::new(2), Ppn::new(9));
+        m.debug_swap(Lpn::new(1), Lpn::new(2));
+        // The corruption is real (pages crossed)...
+        assert_eq!(m.lookup(Lpn::new(1)), Some(Ppn::new(9)));
+        assert_eq!(m.lookup(Lpn::new(2)), Some(Ppn::new(4)));
+        // ...but structurally invisible: only a shadow model can see it.
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    #[should_panic(expected = "two mapped LPNs")]
+    fn debug_swap_rejects_unmapped() {
+        let mut m = MappingTable::new(10, 20);
+        m.map(Lpn::new(1), Ppn::new(4));
+        m.debug_swap(Lpn::new(1), Lpn::new(5));
     }
 
     #[test]

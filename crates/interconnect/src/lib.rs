@@ -37,7 +37,7 @@ mod packet;
 pub mod signals;
 mod timing_diagram;
 
-pub use bus::{BusParams, DedicatedBus, PacketBus};
+pub use bus::{BusParams, DedicatedBus, PacketBus, TransferProbe};
 pub use mesh::{LinkId, Mesh, MeshEndpoint, MeshParams};
 pub use omnibus::{ControllerRole, IoPath, Omnibus};
 pub use packet::{

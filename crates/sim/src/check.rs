@@ -1,0 +1,137 @@
+//! Invariant-violation collection for lockstep checkers.
+//!
+//! Any shadow model or invariant checker layered on top of the simulation
+//! kernel needs the same plumbing: record *named* violations with the
+//! simulated time and a human-readable detail, without deciding on the
+//! checker's behalf whether to abort. [`ViolationLog`] is that substrate —
+//! `nssd-oracle` builds its shadow-FTL and conservation checks on it, and
+//! the engine surfaces the collected violations in the run report.
+
+use core::fmt;
+
+use crate::SimTime;
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the invariant that failed (stable, grep-able identifier).
+    pub invariant: &'static str,
+    /// Simulated time at which the violation was detected.
+    pub at: SimTime,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at {}: {}", self.invariant, self.at, self.detail)
+    }
+}
+
+/// Accumulates [`Violation`]s raised by a checker.
+///
+/// The log only collects; policy (panic, report, assert-empty) belongs to
+/// the caller. A bounded capacity keeps a badly broken run from flooding
+/// memory with millions of identical reports — overflow is counted, not
+/// stored.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_sim::{SimTime, ViolationLog};
+///
+/// let mut log = ViolationLog::new();
+/// assert!(log.is_empty());
+/// log.report("demo-invariant", SimTime::from_ns(5), "value 3 != 4".into());
+/// assert_eq!(log.len(), 1);
+/// assert!(log.iter().next().unwrap().to_string().contains("demo"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViolationLog {
+    violations: Vec<Violation>,
+    /// Violations raised beyond the storage cap.
+    dropped: u64,
+}
+
+impl ViolationLog {
+    /// Stored-violation cap; further reports only bump the drop counter.
+    pub const CAPACITY: usize = 256;
+
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ViolationLog::default()
+    }
+
+    /// Records a violation of `invariant` detected at `at`.
+    pub fn report(&mut self, invariant: &'static str, at: SimTime, detail: String) {
+        if self.violations.len() < Self::CAPACITY {
+            self.violations.push(Violation {
+                invariant,
+                at,
+                detail,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Whether no violation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty() && self.dropped == 0
+    }
+
+    /// Total violations raised (stored + dropped past the cap).
+    pub fn len(&self) -> u64 {
+        self.violations.len() as u64 + self.dropped
+    }
+
+    /// Iterates the stored violations in report order.
+    pub fn iter(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter()
+    }
+
+    /// Renders every stored violation to a line each (the report form).
+    pub fn render(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.violations.iter().map(|v| v.to_string()).collect();
+        if self.dropped > 0 {
+            out.push(format!("... and {} more violations dropped", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_reports_clean() {
+        let log = ViolationLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert!(log.render().is_empty());
+    }
+
+    #[test]
+    fn reported_violations_are_stored_in_order() {
+        let mut log = ViolationLog::new();
+        log.report("a", SimTime::from_ns(1), "first".into());
+        log.report("b", SimTime::from_ns(2), "second".into());
+        assert_eq!(log.len(), 2);
+        let names: Vec<&str> = log.iter().map(|v| v.invariant).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(log.render()[1].contains("second"));
+    }
+
+    #[test]
+    fn overflow_is_counted_not_stored() {
+        let mut log = ViolationLog::new();
+        for i in 0..(ViolationLog::CAPACITY + 10) {
+            log.report("flood", SimTime::ZERO, format!("v{i}"));
+        }
+        assert_eq!(log.len(), ViolationLog::CAPACITY as u64 + 10);
+        assert_eq!(log.iter().count(), ViolationLog::CAPACITY);
+        assert!(log.render().last().unwrap().contains("10 more"));
+        assert!(!log.is_empty());
+    }
+}

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
 mod event;
 mod resource;
 mod rng;
@@ -55,6 +56,7 @@ mod stats;
 mod time;
 mod util;
 
+pub use check::{Violation, ViolationLog};
 pub use event::EventQueue;
 pub use resource::{BandwidthPipe, Reservation, Resource};
 pub use rng::{DetRng, Rng, SampleRange};

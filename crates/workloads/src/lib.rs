@@ -30,7 +30,7 @@ mod zipf;
 pub use import::{import_msr, MsrImportOptions, MsrParseError};
 pub use stats::TraceStats;
 pub use suite::{generate_trace, PaperWorkload, WorkloadSpec, REFERENCE_BYTES_PER_SEC};
-pub use synthetic::{SyntheticPattern, SyntheticSpec};
+pub use synthetic::{MixedSpec, SyntheticPattern, SyntheticSpec};
 pub use trace::{Trace, TraceParseError};
 pub use zipf::Zipf;
 

@@ -119,6 +119,82 @@ impl SyntheticSpec {
     }
 }
 
+/// A tunable mixed stream: the read/write mix and the sequentiality are
+/// explicit knobs with measurable targets, unlike [`SyntheticPattern`]'s
+/// four fixed corners.
+///
+/// * `read_ratio` — each request is a read with this probability, so over
+///   `requests` draws the observed read fraction converges on the knob
+///   (binomial standard error `sqrt(r(1-r)/n)`).
+/// * `mean_run_length` — after every request the stream jumps to a fresh
+///   uniform address with probability `1 / mean_run_length`, otherwise it
+///   continues at the next sequential slot; run lengths are therefore
+///   geometric with exactly this mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedSpec {
+    /// Probability a request is a read (0.0 = pure write, 1.0 = pure read).
+    pub read_ratio: f64,
+    /// Mean sequential run length in requests (1.0 = fully random).
+    pub mean_run_length: f64,
+    /// Bytes per request.
+    pub request_bytes: u32,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Addressable footprint in bytes.
+    pub footprint_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MixedSpec {
+    /// Generates the request list with zero arrival times (closed-loop
+    /// drivers control concurrency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_ratio` is outside `[0, 1]`, `mean_run_length < 1`,
+    /// or the footprint cannot hold a single request.
+    pub fn generate(&self) -> Trace {
+        assert!(
+            (0.0..=1.0).contains(&self.read_ratio),
+            "read_ratio must be in [0, 1]"
+        );
+        assert!(
+            self.mean_run_length >= 1.0 && self.mean_run_length.is_finite(),
+            "mean_run_length must be finite and >= 1"
+        );
+        assert!(
+            self.footprint_bytes >= self.request_bytes as u64,
+            "footprint smaller than one request"
+        );
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        let slots = self.footprint_bytes / self.request_bytes as u64;
+        let jump_p = 1.0 / self.mean_run_length;
+        let mut trace = Trace::new("mixed");
+        let mut cursor = rng.gen_range(0..slots);
+        for i in 0..self.requests {
+            // The first request of a run is itself the jump target.
+            if i == 0 || rng.gen_range(0.0..1.0) < jump_p {
+                cursor = rng.gen_range(0..slots);
+            } else {
+                cursor = (cursor + 1) % slots;
+            }
+            let op = if rng.gen_range(0.0..1.0) < self.read_ratio {
+                IoOp::Read
+            } else {
+                IoOp::Write
+            };
+            trace.push(IoRequest::new(
+                op,
+                cursor * self.request_bytes as u64,
+                self.request_bytes,
+                SimTime::ZERO,
+            ));
+        }
+        trace
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +249,67 @@ mod tests {
     #[should_panic(expected = "footprint")]
     fn tiny_footprint_rejected() {
         SyntheticSpec::paper(SyntheticPattern::RandomRead, 1, 1024).generate();
+    }
+
+    #[test]
+    fn mixed_is_seed_deterministic_and_in_bounds() {
+        let spec = MixedSpec {
+            read_ratio: 0.7,
+            mean_run_length: 4.0,
+            request_bytes: 4096,
+            requests: 500,
+            footprint_bytes: 1 << 22,
+            seed: 77,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        for r in &a {
+            assert_eq!(r.offset % 4096, 0);
+            assert!(r.offset + r.len as u64 <= 1 << 22);
+        }
+    }
+
+    #[test]
+    fn mixed_extremes_are_pure() {
+        let mut spec = MixedSpec {
+            read_ratio: 1.0,
+            mean_run_length: 1.0,
+            request_bytes: 4096,
+            requests: 200,
+            footprint_bytes: 1 << 22,
+            seed: 1,
+        };
+        assert!(spec.generate().iter().all(|r| r.op.is_read()));
+        spec.read_ratio = 0.0;
+        assert!(spec.generate().iter().all(|r| !r.op.is_read()));
+    }
+
+    #[test]
+    #[should_panic(expected = "read_ratio")]
+    fn mixed_rejects_bad_ratio() {
+        MixedSpec {
+            read_ratio: 1.5,
+            mean_run_length: 2.0,
+            request_bytes: 4096,
+            requests: 1,
+            footprint_bytes: 1 << 20,
+            seed: 0,
+        }
+        .generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_run_length")]
+    fn mixed_rejects_sub_one_run_length() {
+        MixedSpec {
+            read_ratio: 0.5,
+            mean_run_length: 0.5,
+            request_bytes: 4096,
+            requests: 1,
+            footprint_bytes: 1 << 20,
+            seed: 0,
+        }
+        .generate();
     }
 }

@@ -16,4 +16,15 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace --release -q
 
+echo "==> golden snapshot gate"
+# The golden_report suite re-runs the pinned matrix and compares byte-for-byte
+# against tests/golden/; the git check catches a bless that was never committed.
+cargo test --release -q --test golden_report
+git diff --exit-code -- tests/golden
+
+echo "==> oracle mutation self-test"
+# Plants a corrupted mapping entry and a dropped GC copy; the shadow oracle
+# must flag both, or the invariant layer has gone blind.
+cargo test --release -q --test oracle
+
 echo "CI gate passed."

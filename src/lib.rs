@@ -45,7 +45,8 @@
 //! | [`host`] | `nssd-host` | Requests, host-side bandwidth pipes |
 //! | [`workloads`] | `nssd-workloads` | Traces, Zipf, synthetic + named suites |
 //! | [`faults`] | `nssd-faults` | Deterministic fault injection, reliability counters |
-//! | [`core`] | `nssd-core` | Architectures, engine, runners, reports |
+//! | [`oracle`] | `nssd-oracle` | Timing-free shadow model, conservation invariants |
+//! | [`core`] | `nssd-core` | Architectures, engine, runners, reports, golden snapshots |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,13 +57,14 @@ pub use nssd_flash as flash;
 pub use nssd_ftl as ftl;
 pub use nssd_host as host;
 pub use nssd_interconnect as interconnect;
+pub use nssd_oracle as oracle;
 pub use nssd_sim as sim;
 pub use nssd_workloads as workloads;
 
 // The most-used items, flattened for convenience.
 pub use nssd_core::{
     run_closed_loop, run_closed_loop_preconditioned, run_trace, run_trace_preconditioned,
-    Architecture, FaultConfig, ReliabilityStats, SimReport, SsdConfig,
+    Architecture, FaultConfig, GoldenCase, OracleSummary, ReliabilityStats, SimReport, SsdConfig,
 };
 pub use nssd_ftl::GcPolicy;
-pub use nssd_workloads::{PaperWorkload, SyntheticPattern, SyntheticSpec, Trace};
+pub use nssd_workloads::{MixedSpec, PaperWorkload, SyntheticPattern, SyntheticSpec, Trace};

@@ -93,6 +93,39 @@ fn fault_injected_runs_are_identical() {
     assert!(a.reliability.any_events());
 }
 
+/// Full matrix: every topology × every GC policy, each preconditioned run
+/// executed twice with the same seed and compared as whole reports (latency
+/// distributions, GC accounting, wear, energy, reliability, oracle digest —
+/// `SimReport` derives `PartialEq` over all of it).
+#[test]
+fn every_topology_and_gc_policy_is_bit_stable() {
+    let topologies = [
+        Architecture::BaseSsd,
+        Architecture::PSsd,
+        Architecture::PnSsd,
+        Architecture::PnSsdSplit,
+        Architecture::NoSsdUnconstrained,
+    ];
+    let policies = [GcPolicy::Parallel, GcPolicy::Preemptive, GcPolicy::Spatial];
+    for arch in topologies {
+        for policy in policies {
+            let mut cfg = SsdConfig::tiny(arch);
+            cfg.gc.policy = policy;
+            cfg.gc.victims_per_trigger = 2;
+            cfg.oracle = true;
+            let trace = PaperWorkload::YcsbA.generate(100, cfg.logical_bytes() / 2, 41);
+            let a = run_trace_preconditioned(cfg, &trace, 0.85, 0.3).unwrap();
+            let b = run_trace_preconditioned(cfg, &trace, 0.85, 0.3).unwrap();
+            assert_eq!(a, b, "{arch} / {policy}");
+            assert!(
+                a.oracle.violations.is_empty(),
+                "{arch} / {policy}: {:?}",
+                a.oracle.violations
+            );
+        }
+    }
+}
+
 #[test]
 fn different_seeds_produce_different_runs() {
     let mut cfg = SsdConfig::tiny(Architecture::BaseSsd);

@@ -142,6 +142,82 @@ fn crc_protected_data_prefix_detects_corruption() {
 }
 
 #[test]
+#[should_panic(expected = "nonzero")]
+fn zero_length_payload_is_rejected() {
+    let _ = DataPacket::new(0);
+}
+
+#[test]
+fn maximum_frame_size_roundtrips_and_the_next_byte_is_rejected() {
+    // 64 KB is the largest payload the 16-bit length field encodes (it
+    // stores payload - 1, so 0xFFFF means 65536).
+    let max = DataPacket::new(64 * 1024);
+    let prefix = max.encode_prefix();
+    assert_eq!((prefix[1], prefix[2]), (0xFF, 0xFF));
+    assert_eq!(DataPacket::decode_prefix(&prefix).unwrap(), max);
+    assert_eq!(
+        DataPacket::decode_prefix_crc(&max.encode_prefix_crc()).unwrap(),
+        max
+    );
+    assert_eq!(max.flits(), 1 + DATA_LEN_FLITS as u64 + 64 * 1024);
+    assert!(std::panic::catch_unwind(|| DataPacket::new(64 * 1024 + 1)).is_err());
+}
+
+#[test]
+fn every_truncation_of_a_frame_fails_to_decode() {
+    // Exhaustive: every proper prefix of both frame kinds must be refused,
+    // never misparsed as a shorter valid frame.
+    let plain = DataPacket::new(4096).encode_prefix();
+    for keep in 0..plain.len() {
+        assert_eq!(
+            DataPacket::decode_prefix(&plain[..keep]),
+            Err(PacketError::Truncated),
+            "plain prefix truncated to {keep} bytes"
+        );
+    }
+    let framed = DataPacket::new(4096).encode_prefix_crc();
+    for keep in 0..framed.len() {
+        assert_eq!(
+            DataPacket::decode_prefix_crc(&framed[..keep]),
+            Err(PacketError::Truncated),
+            "crc frame truncated to {keep} bytes"
+        );
+    }
+}
+
+#[test]
+fn crc_flip_is_detected_at_every_byte_and_bit_position() {
+    // Small data frame: flip every bit of every byte (header, both length
+    // flits, and the CRC flit itself) — each single-bit corruption must be
+    // refused. This is the whole point of framing the packetized interface.
+    let data_frame = DataPacket::new(512).encode_prefix_crc();
+    for byte in 0..data_frame.len() {
+        for bit in 0..8 {
+            let mut corrupted = data_frame;
+            corrupted[byte] ^= 1 << bit;
+            assert!(
+                DataPacket::decode_prefix_crc(&corrupted).is_err(),
+                "byte {byte} bit {bit} flip slipped through"
+            );
+        }
+    }
+    // Same exhaustive sweep over a control frame.
+    let ctrl_frame = ControlPacket::for_command(FlashCommand::EraseBlock)
+        .encode_header_crc()
+        .unwrap();
+    for byte in 0..ctrl_frame.len() {
+        for bit in 0..8 {
+            let mut corrupted = ctrl_frame;
+            corrupted[byte] ^= 1 << bit;
+            assert!(
+                ControlPacket::decode_header_crc(corrupted).is_err(),
+                "byte {byte} bit {bit} flip slipped through"
+            );
+        }
+    }
+}
+
+#[test]
 fn packet_errors_render_usefully() {
     let e = PacketError::CrcMismatch {
         got: 0x12,

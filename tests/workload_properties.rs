@@ -1,0 +1,124 @@
+//! Statistical properties of the workload generators: the Zipf sampler
+//! follows the rank law it advertises, and [`MixedSpec`]'s read-ratio and
+//! sequential-run-length knobs hit their documented targets.
+
+use networked_ssd::sim::DetRng;
+use networked_ssd::workloads::Zipf;
+use networked_ssd::MixedSpec;
+
+#[test]
+fn zipf_sampled_frequencies_follow_the_rank_law() {
+    // P(rank k) = (1/k^s) / H_{n,s}. With 200k samples the top ranks have
+    // thousands of hits each, so a 10% relative tolerance is generous.
+    let (n, s) = (500u64, 1.0f64);
+    let z = Zipf::new(n, s, 13);
+    let mut rng = DetRng::seed_from_u64(99);
+    let samples = 200_000u64;
+    let mut counts = vec![0u64; n as usize];
+    for _ in 0..samples {
+        counts[z.sample(&mut rng) as usize] += 1;
+    }
+    let harmonic: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+    for rank in 0..8u64 {
+        let addr = z.scatter(rank) as usize;
+        let observed = counts[addr] as f64 / samples as f64;
+        let expected = 1.0 / ((rank + 1) as f64).powf(s) / harmonic;
+        assert!(
+            (observed - expected).abs() / expected < 0.10,
+            "rank {rank}: observed {observed:.5}, expected {expected:.5}"
+        );
+    }
+    // And the law is actually skewed: rank 0 beats rank 7 by about 8x.
+    let hot = counts[z.scatter(0) as usize] as f64;
+    let cold = counts[z.scatter(7) as usize] as f64;
+    assert!((hot / cold - 8.0).abs() < 1.5, "ratio {}", hot / cold);
+}
+
+#[test]
+fn zipf_total_mass_is_conserved() {
+    let z = Zipf::new(64, 1.2, 5);
+    let mut rng = DetRng::seed_from_u64(4);
+    let mut counts = vec![0u64; 64];
+    for _ in 0..10_000 {
+        counts[z.sample(&mut rng) as usize] += 1;
+    }
+    assert_eq!(counts.iter().sum::<u64>(), 10_000);
+}
+
+fn mixed(read_ratio: f64, mean_run_length: f64, requests: usize, seed: u64) -> MixedSpec {
+    MixedSpec {
+        read_ratio,
+        mean_run_length,
+        request_bytes: 4096,
+        requests,
+        footprint_bytes: 1 << 26,
+        seed,
+    }
+}
+
+#[test]
+fn mixed_read_ratio_hits_documented_target() {
+    // Binomial: stderr = sqrt(r(1-r)/n) ≈ 0.0044 at r=0.7, n=10_000;
+    // a ±0.02 window is ~4.5 sigma.
+    for (ratio, seed) in [(0.3, 1u64), (0.5, 2), (0.7, 3), (0.9, 4)] {
+        let t = mixed(ratio, 4.0, 10_000, seed).generate();
+        let reads = t.iter().filter(|r| r.op.is_read()).count() as f64;
+        let observed = reads / t.len() as f64;
+        assert!(
+            (observed - ratio).abs() < 0.02,
+            "read_ratio {ratio}: observed {observed:.4}"
+        );
+    }
+}
+
+#[test]
+fn mixed_run_length_hits_documented_target() {
+    // Run lengths are geometric with mean `mean_run_length`; measure the
+    // mean length of maximal consecutive-address runs.
+    for (target, seed) in [(1.0f64, 7u64), (4.0, 8), (16.0, 9)] {
+        let spec = mixed(0.5, target, 20_000, seed);
+        let t = spec.generate();
+        let offsets: Vec<u64> = t.iter().map(|r| r.offset).collect();
+        let step = spec.request_bytes as u64;
+        let mut runs = 1u64;
+        for w in offsets.windows(2) {
+            if w[1] != w[0] + step {
+                runs += 1;
+            }
+        }
+        let observed = offsets.len() as f64 / runs as f64;
+        // A fresh uniform jump occasionally lands exactly one step ahead,
+        // merging two runs — a ~1/slots effect, far inside this tolerance.
+        assert!(
+            (observed - target).abs() / target < 0.15,
+            "mean_run_length {target}: observed {observed:.3}"
+        );
+    }
+}
+
+#[test]
+fn mixed_sequentiality_extremes_behave() {
+    // Fully random: almost every request starts a new run.
+    let step = 4096u64;
+    let random = mixed(0.5, 1.0, 5_000, 11).generate();
+    let rand_offsets: Vec<u64> = random.iter().map(|r| r.offset).collect();
+    let seq_pairs = rand_offsets
+        .windows(2)
+        .filter(|w| w[1] == w[0] + step)
+        .count();
+    assert!(
+        (seq_pairs as f64) < 0.01 * random.len() as f64,
+        "run_length=1 produced {seq_pairs} sequential pairs"
+    );
+    // Highly sequential: the overwhelming majority of pairs are adjacent.
+    let seq = mixed(0.5, 64.0, 5_000, 12).generate();
+    let seq_offsets: Vec<u64> = seq.iter().map(|r| r.offset).collect();
+    let adjacent = seq_offsets
+        .windows(2)
+        .filter(|w| w[1] == w[0] + step)
+        .count();
+    assert!(
+        adjacent as f64 > 0.95 * seq.len() as f64,
+        "run_length=64 produced only {adjacent} sequential pairs"
+    );
+}
