@@ -1,0 +1,78 @@
+//! One multiplexer binary for every per-figure/table experiment:
+//!
+//! ```text
+//! cargo run --release -p nssd-bench --bin figure -- fig14
+//! cargo run --release -p nssd-bench --bin figure -- fig19 fig20a
+//! cargo run --release -p nssd-bench --bin figure -- --list
+//! ```
+//!
+//! Knows every entry of [`nssd_bench::all`] plus `fig06` (the ASCII timing
+//! diagrams, which render directly instead of producing a table). Use
+//! `all_experiments` to run the full set and write the Markdown digest.
+
+use std::process::ExitCode;
+
+use nssd_flash::FlashTiming;
+use nssd_interconnect::{BusParams, DedicatedBus, PacketBus, TimingDiagram};
+
+fn print_available() {
+    eprintln!("available figures/tables:");
+    eprintln!("  fig06 (ASCII timing diagrams)");
+    for (id, _) in nssd_bench::all() {
+        eprintln!("  {id}");
+    }
+}
+
+/// Fig 6: read-transaction timing on the conventional vs packetized
+/// interface, as ASCII timing diagrams (prints directly — no table).
+fn fig06_timing_diagram() {
+    let base = DedicatedBus::new(BusParams::table2_baseline());
+    let pssd = PacketBus::new(BusParams::table2_pssd());
+    println!("==== Fig 6 — 16KB page read transaction ====");
+    println!("legend: '>' controller drives DQ, '<' chip drives DQ, '.' bus idle (array busy)\n");
+    print!(
+        "{}",
+        TimingDiagram::conventional_read(&base, FlashTiming::ull(), 16 * 1024).render()
+    );
+    println!();
+    print!(
+        "{}",
+        TimingDiagram::packetized_read(&pssd, FlashTiming::ull(), 16 * 1024).render()
+    );
+}
+
+fn main() -> ExitCode {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    if names.is_empty()
+        || names
+            .iter()
+            .any(|n| n == "--list" || n == "-l" || n == "--help")
+    {
+        eprintln!("usage: figure <name>... | --list");
+        print_available();
+        return if names.iter().any(|n| n == "--list" || n == "-l") {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+    let registry = nssd_bench::all();
+    for name in &names {
+        if name == "fig06" {
+            fig06_timing_diagram();
+            continue;
+        }
+        match registry.iter().find(|(id, _)| id == name) {
+            Some((id, thunk)) => {
+                eprintln!(">>> running {id}");
+                thunk().print();
+            }
+            None => {
+                eprintln!("unknown figure '{name}'");
+                print_available();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,9 +1,10 @@
 //! Experiment harness for the Networked SSD reproduction.
 //!
-//! Each figure/table of the paper's evaluation has a binary in
-//! `src/bin/` (`fig14_io_latency_no_gc`, `fig19_gc_traces`, …) built on the
-//! shared experiment functions here; `all_experiments` runs the complete
-//! set and emits Markdown for `EXPERIMENTS.md`.
+//! Each figure/table of the paper's evaluation is a shared experiment
+//! function registered in [`all`]; the `figure` binary runs any of them by
+//! name (`figure -- fig14 fig19`, `figure -- --list`), and
+//! `all_experiments` runs the complete set and emits Markdown for
+//! `EXPERIMENTS.md`.
 //!
 //! Scale knobs (environment variables):
 //!

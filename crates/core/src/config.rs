@@ -134,6 +134,16 @@ impl Traffic {
             Traffic::Gc => 2,
         }
     }
+
+    /// The host traffic class of an I/O direction — the one place the
+    /// read/write distinction maps onto a recorder class.
+    pub fn io(is_read: bool) -> Traffic {
+        if is_read {
+            Traffic::HostRead
+        } else {
+            Traffic::HostWrite
+        }
+    }
 }
 
 /// How error correction is provisioned (§VIII "On-die ECC functions").

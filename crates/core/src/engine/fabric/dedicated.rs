@@ -1,0 +1,121 @@
+//! Dedicated-signal (conventional baseSSD) fabric: one 8-bit bus per
+//! channel, command and data phases serialized on the same wires, no frame
+//! check — wire corruption is programmed as-is, silently.
+
+use nssd_flash::{FlashCommand, PageAddr};
+use nssd_interconnect::DedicatedBus;
+use nssd_sim::SimTime;
+
+use super::{CmdStart, FabricBackend, FabricCtx, GcEcc, XferPlan};
+
+#[derive(Debug)]
+pub(crate) struct DedicatedFabric {
+    bus: DedicatedBus,
+}
+
+impl DedicatedFabric {
+    pub(crate) fn new(bus: DedicatedBus) -> Self {
+        DedicatedFabric { bus }
+    }
+}
+
+impl FabricBackend for DedicatedFabric {
+    fn control_handshake(
+        &self,
+        ctx: &mut FabricCtx,
+        addr: PageAddr,
+        cmd: FlashCommand,
+        at: SimTime,
+        tag: usize,
+    ) -> CmdStart {
+        let dur = self.bus.command_phase(cmd);
+        let end = ctx.h_channels[addr.channel as usize]
+            .reserve_tagged(at, dur, tag)
+            .end;
+        CmdStart { end, ctrl: 0 }
+    }
+
+    fn reserve_write_in(
+        &self,
+        ctx: &mut FabricCtx,
+        addr: PageAddr,
+        bytes: u32,
+        at: SimTime,
+        tag: usize,
+    ) -> XferPlan {
+        // The program command and its data phase occupy the bus
+        // back-to-back in one reservation.
+        let dur =
+            self.bus.command_phase(FlashCommand::ProgramPage) + self.bus.data_phase(bytes as u64);
+        let r = ctx.h_channels[addr.channel as usize].reserve_tagged(at, dur, tag);
+        // No frame check on the dedicated-signal interface: wire corruption
+        // is programmed as-is, silently.
+        ctx.faults.raw_transfer(bytes as u64);
+        XferPlan::single(r.end)
+    }
+
+    fn reserve_read_out(
+        &self,
+        ctx: &mut FabricCtx,
+        addr: PageAddr,
+        bytes: u32,
+        _ctrl: u32,
+        at: SimTime,
+        tag: usize,
+    ) -> XferPlan {
+        let dur = self.bus.data_phase(bytes as u64);
+        let r = ctx.h_channels[addr.channel as usize].reserve_tagged(at, dur, tag);
+        ctx.faults.raw_transfer(bytes as u64);
+        XferPlan::single(r.end)
+    }
+
+    fn gc_read_command(
+        &self,
+        ctx: &mut FabricCtx,
+        addr: PageAddr,
+        _use_v: bool,
+        at: SimTime,
+        tag: usize,
+    ) -> SimTime {
+        let dur = self.bus.command_phase(FlashCommand::ReadPage);
+        ctx.h_channels[addr.channel as usize]
+            .reserve_tagged(at, dur, tag)
+            .end
+    }
+
+    fn reserve_f2f_copy(
+        &self,
+        ctx: &mut FabricCtx,
+        src: PageAddr,
+        dst: PageAddr,
+        bytes: u32,
+        ecc: GcEcc,
+        at: SimTime,
+        tag: usize,
+    ) -> SimTime {
+        // No chip-to-chip connectivity: stage through the controller over
+        // both h-channels and the DRAM.
+        let out = ctx.h_channels[src.channel as usize].reserve_tagged(
+            at,
+            self.bus.data_phase(bytes as u64),
+            tag,
+        );
+        // Both unframed bus legs can corrupt silently.
+        ctx.faults.raw_transfer(bytes as u64);
+        ctx.faults.raw_transfer(bytes as u64);
+        let decoded = out.end + ecc.staged;
+        let staged = ctx.host.dram_roundtrip(decoded, bytes as u64, tag);
+        ctx.h_channels[dst.channel as usize]
+            .reserve_tagged(
+                staged.end,
+                self.bus.command_phase(FlashCommand::ProgramPage)
+                    + self.bus.data_phase(bytes as u64),
+                tag,
+            )
+            .end
+    }
+
+    fn source_idle(&self, ctx: &FabricCtx, addr: PageAddr, _use_v: bool, at: SimTime) -> bool {
+        ctx.h_channels[addr.channel as usize].is_idle_at(at)
+    }
+}

@@ -1,0 +1,110 @@
+//! Packetized-bus (pSSD) fabric: 16-bit framed h-channels, CRC/NAK link
+//! recovery, no vertical connectivity — GC copies always stage through the
+//! controller.
+
+use nssd_flash::{FlashCommand, PageAddr};
+use nssd_interconnect::PacketBus;
+use nssd_sim::SimTime;
+
+use super::super::reserve_with_link_faults;
+use super::{staged_copy_packetized, CmdStart, FabricBackend, FabricCtx, GcEcc, XferPlan};
+
+#[derive(Debug)]
+pub(crate) struct PacketizedFabric {
+    h: PacketBus,
+}
+
+impl PacketizedFabric {
+    pub(crate) fn new(h: PacketBus) -> Self {
+        PacketizedFabric { h }
+    }
+}
+
+impl FabricBackend for PacketizedFabric {
+    fn control_handshake(
+        &self,
+        ctx: &mut FabricCtx,
+        addr: PageAddr,
+        cmd: FlashCommand,
+        at: SimTime,
+        tag: usize,
+    ) -> CmdStart {
+        let dur = self.h.control_packet_time(cmd);
+        let end = ctx.h_channels[addr.channel as usize]
+            .reserve_tagged(at, dur, tag)
+            .end;
+        CmdStart { end, ctrl: 0 }
+    }
+
+    fn reserve_write_in(
+        &self,
+        ctx: &mut FabricCtx,
+        addr: PageAddr,
+        bytes: u32,
+        at: SimTime,
+        tag: usize,
+    ) -> XferPlan {
+        let dur = self.h.write_in_time(bytes);
+        let r = reserve_with_link_faults(
+            &mut ctx.h_channels[addr.channel as usize],
+            ctx.faults,
+            at,
+            dur,
+            bytes as u64,
+            tag,
+        );
+        XferPlan::single(r.end)
+    }
+
+    fn reserve_read_out(
+        &self,
+        ctx: &mut FabricCtx,
+        addr: PageAddr,
+        bytes: u32,
+        _ctrl: u32,
+        at: SimTime,
+        tag: usize,
+    ) -> XferPlan {
+        let dur = self.h.read_out_time(bytes);
+        let r = reserve_with_link_faults(
+            &mut ctx.h_channels[addr.channel as usize],
+            ctx.faults,
+            at,
+            dur,
+            bytes as u64,
+            tag,
+        );
+        XferPlan::single(r.end)
+    }
+
+    fn gc_read_command(
+        &self,
+        ctx: &mut FabricCtx,
+        addr: PageAddr,
+        _use_v: bool,
+        at: SimTime,
+        tag: usize,
+    ) -> SimTime {
+        let dur = self.h.control_packet_time(FlashCommand::ReadPage);
+        ctx.h_channels[addr.channel as usize]
+            .reserve_tagged(at, dur, tag)
+            .end
+    }
+
+    fn reserve_f2f_copy(
+        &self,
+        ctx: &mut FabricCtx,
+        src: PageAddr,
+        dst: PageAddr,
+        bytes: u32,
+        ecc: GcEcc,
+        at: SimTime,
+        tag: usize,
+    ) -> SimTime {
+        staged_copy_packetized(ctx, &self.h, src, dst, bytes, ecc.staged, at, tag)
+    }
+
+    fn source_idle(&self, ctx: &FabricCtx, addr: PageAddr, _use_v: bool, at: SimTime) -> bool {
+        ctx.h_channels[addr.channel as usize].is_idle_at(at)
+    }
+}

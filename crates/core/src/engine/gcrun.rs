@@ -1,18 +1,18 @@
 //! Garbage-collection execution: PaGC, semi-preemptive GC, and spatial GC.
 //!
-//! GC copies are timed pipelines: source command + tR, a data movement whose
-//! path depends on the architecture (twice over the h-channel through the
-//! controller and DRAM for bus architectures; once over a v-channel directly
-//! chip-to-chip for pnSSD; a direct mesh route for NoSSD), then tPROG at the
-//! destination, and finally the victim erase.
+//! GC copies are timed pipelines: source command + tR, a data movement
+//! delegated to the [`super::FabricBackend`] (staged twice through the
+//! controller for bus architectures; once over a shared v-channel directly
+//! chip-to-chip for pnSSD; a direct mesh route for NoSSD), then tPROG at
+//! the destination, and finally the victim erase. The policies sequence
+//! copies; the fabric decides how bytes move.
 
-use nssd_flash::{FlashCommand, Pbn, Ppn};
+use nssd_flash::{Pbn, Ppn};
 use nssd_ftl::{FtlError, GcPolicy, Lpn, WayMask};
-use nssd_interconnect::{ControlPacket, DataPacket, MeshEndpoint};
 use nssd_sim::SimTime;
 
-use super::{reserve_with_link_faults, Event, SsdSim};
-use crate::{Architecture, Traffic};
+use super::{Event, SsdSim};
+use crate::Traffic;
 
 #[derive(Debug)]
 struct GcCopy {
@@ -224,34 +224,25 @@ impl SsdSim {
     }
 
     /// Whether the resources a copy's *source read* needs are free right
-    /// now (the preemption check).
-    fn gc_source_idle(&self, c: usize) -> bool {
+    /// now (the preemption check): the source plane, plus whatever channel
+    /// the fabric would route the readout over.
+    fn gc_source_idle(&mut self, c: usize) -> bool {
         let src = self.gc.copies[c].src;
         let addr = self.cfg.geometry.page_addr(src);
         let chip = self.cfg.geometry.chip_index(addr.channel, addr.way);
         if !self.chips[chip].plane_idle_at(addr.die, addr.plane, self.now) {
             return false;
         }
-        match self.cfg.architecture {
-            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
-                // Mesh: gate on the chip's edge column links being quiet.
-                let cols = self.cfg.geometry.channels as usize;
-                self.mesh_links[addr.channel as usize].is_idle_at(self.now)
-                    && self.mesh_links[cols + addr.channel as usize].is_idle_at(self.now)
-            }
-            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced
-                if self.gc_uses_v_channel() =>
-            {
-                let v = self.v_index(addr.way);
-                self.v_channels[v].is_idle_at(self.now)
-            }
-            _ => self.h_channels[addr.channel as usize].is_idle_at(self.now),
-        }
+        let use_v = self.gc_uses_v_channel();
+        let now = self.now;
+        let (fabric, ctx) = self.fabric_parts();
+        fabric.source_idle(&ctx, addr, use_v, now)
     }
 
-    /// The channel a GC command/readout uses on the *source* side.
+    /// Whether GC command/readout traffic rides the v-channels on the
+    /// *source* side (spatial GC, where the topology offers them).
     fn gc_uses_v_channel(&self) -> bool {
-        self.gc.policy() == GcPolicy::Spatial && self.cfg.architecture.has_v_channels()
+        self.gc.policy() == GcPolicy::Spatial && self.fabric.gc_can_use_v()
     }
 
     fn launch_copy(&mut self, c: usize) {
@@ -264,55 +255,13 @@ impl SsdSim {
         }
         let addr = self.cfg.geometry.page_addr(src);
         let tag = Traffic::Gc.tag();
-        // Source read command: a few flits; spatial pnSSD keeps even the
-        // command traffic on the v-channel to leave h-channels to I/O.
-        let cmd_end = match self.cfg.architecture {
-            Architecture::BaseSsd => {
-                let dur = self
-                    .ded
-                    .expect("dedicated bus")
-                    .command_phase(FlashCommand::ReadPage);
-                self.h_channels[addr.channel as usize]
-                    .reserve_tagged(self.now, dur, tag)
-                    .end
-            }
-            Architecture::PSsd => {
-                let dur = self
-                    .pkt_h
-                    .expect("packet bus")
-                    .control_packet_time(FlashCommand::ReadPage);
-                self.h_channels[addr.channel as usize]
-                    .reserve_tagged(self.now, dur, tag)
-                    .end
-            }
-            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced => {
-                let dur = self
-                    .pkt_v
-                    .expect("v bus")
-                    .control_packet_time(FlashCommand::ReadPage);
-                if self.gc_uses_v_channel() {
-                    let v = self.v_index(addr.way);
-                    self.v_channels[v].reserve_tagged(self.now, dur, tag).end
-                } else {
-                    self.h_channels[addr.channel as usize]
-                        .reserve_tagged(self.now, dur, tag)
-                        .end
-                }
-            }
-            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
-                let flits = ControlPacket::for_command(FlashCommand::ReadPage).flits();
-                self.reserve_mesh_path(
-                    MeshEndpoint::Controller(addr.channel),
-                    MeshEndpoint::Chip {
-                        row: addr.way,
-                        col: addr.channel,
-                    },
-                    flits,
-                    self.now,
-                    tag,
-                )
-            }
-        };
+        // Source read command: a few flits, routed by the fabric (spatial
+        // pnSSD keeps even the command traffic on the v-channel to leave
+        // h-channels to I/O).
+        let use_v = self.gc_uses_v_channel();
+        let now = self.now;
+        let (fabric, mut ctx) = self.fabric_parts();
+        let cmd_end = fabric.gc_read_command(&mut ctx, addr, use_v, now, tag);
         let chip = self.chip_index(addr);
         let fault = self.sample_read_fault(addr);
         let read = self.chips[chip].reserve_read(addr.die, addr.plane, cmd_end);
@@ -331,7 +280,7 @@ impl SsdSim {
             .gc
             .gc_mask
             .expect("spatial epoch active during spatial GC");
-        if let Some(omni) = self.omnibus {
+        if let Some(omni) = self.fabric.omnibus() {
             let group = omni.v_channel_of_way(src_way);
             let ways: Vec<u32> = gc_mask
                 .ways()
@@ -408,120 +357,10 @@ impl SsdSim {
         let tag = Traffic::Gc.tag();
         let page = self.cfg.geometry.page_bytes;
 
-        let xfer_end = match self.cfg.architecture {
-            Architecture::BaseSsd => {
-                let ded = self.ded.expect("dedicated bus");
-                let out = self.h_channels[src_addr.channel as usize].reserve_tagged(
-                    self.now,
-                    ded.data_phase(page as u64),
-                    tag,
-                );
-                // Both unframed bus legs can corrupt silently.
-                self.faults.raw_transfer(page as u64);
-                self.faults.raw_transfer(page as u64);
-                let decoded = out.end + self.ecc_gc_staged_delay();
-                let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
-                self.h_channels[dst_addr.channel as usize]
-                    .reserve_tagged(
-                        staged.end,
-                        ded.command_phase(FlashCommand::ProgramPage) + ded.data_phase(page as u64),
-                        tag,
-                    )
-                    .end
-            }
-            Architecture::PSsd => {
-                let pkt = self.pkt_h.expect("packet bus");
-                let out = reserve_with_link_faults(
-                    &mut self.h_channels[src_addr.channel as usize],
-                    &mut self.faults,
-                    self.now,
-                    pkt.read_out_time(page),
-                    page as u64,
-                    tag,
-                );
-                let decoded = out.end + self.ecc_gc_staged_delay();
-                let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
-                reserve_with_link_faults(
-                    &mut self.h_channels[dst_addr.channel as usize],
-                    &mut self.faults,
-                    staged.end,
-                    pkt.write_in_time(page),
-                    page as u64,
-                    tag,
-                )
-                .end
-            }
-            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced => {
-                let omni = self.omnibus.expect("omnibus");
-                // Controller-strict ECC forbids bypassing the controller's
-                // decoder, disabling direct flash-to-flash movement (§VIII).
-                let f2f = self.ecc_f2f_delay().and_then(|ecc| {
-                    omni.f2f_v_channel(src_addr.way, dst_addr.way)
-                        .map(|v| (v, ecc))
-                });
-                match f2f {
-                    Some((v, ecc)) => {
-                        // Direct flash-to-flash over the shared v-channel:
-                        // one traversal instead of two (§V-C).
-                        let msgs =
-                            omni.f2f_handshake_messages(src_addr.channel, dst_addr.channel, v);
-                        let hs = omni.handshake_time(msgs, self.cfg.ctrl_msg_latency);
-                        let dur = self.pkt_v.expect("v bus").xfer_time(page);
-                        reserve_with_link_faults(
-                            &mut self.v_channels[v as usize],
-                            &mut self.faults,
-                            self.now + hs,
-                            dur,
-                            page as u64,
-                            tag,
-                        )
-                        .end + ecc
-                    }
-                    None => {
-                        // Different column groups: staged through the
-                        // controller over both h-channels.
-                        let pkt = self.pkt_h.expect("h bus");
-                        let out = reserve_with_link_faults(
-                            &mut self.h_channels[src_addr.channel as usize],
-                            &mut self.faults,
-                            self.now,
-                            pkt.read_out_time(page),
-                            page as u64,
-                            tag,
-                        );
-                        let decoded = out.end + self.ecc_gc_staged_delay();
-                        let staged = self.host.dram_roundtrip(decoded, page as u64, tag);
-                        reserve_with_link_faults(
-                            &mut self.h_channels[dst_addr.channel as usize],
-                            &mut self.faults,
-                            staged.end,
-                            pkt.write_in_time(page),
-                            page as u64,
-                            tag,
-                        )
-                        .end
-                    }
-                }
-            }
-            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
-                // The mesh supports direct chip-to-chip movement.
-                let flits = ControlPacket::for_command(FlashCommand::XferOut).flits()
-                    + DataPacket::new(page).flits();
-                self.reserve_mesh_path(
-                    MeshEndpoint::Chip {
-                        row: src_addr.way,
-                        col: src_addr.channel,
-                    },
-                    MeshEndpoint::Chip {
-                        row: dst_addr.way,
-                        col: dst_addr.channel,
-                    },
-                    flits,
-                    self.now,
-                    tag,
-                )
-            }
-        };
+        let ecc = self.gc_ecc();
+        let now = self.now;
+        let (fabric, mut ctx) = self.fabric_parts();
+        let xfer_end = fabric.reserve_f2f_copy(&mut ctx, src_addr, dst_addr, page, ecc, now, tag);
         self.queue.schedule(xfer_end, Event::GcCopyXferDone(c));
     }
 

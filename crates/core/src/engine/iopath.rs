@@ -1,152 +1,20 @@
-//! Per-architecture I/O transaction paths.
+//! The host I/O transaction path, architecture-agnostic.
 //!
-//! Read: command → array tR → data-out (h, v, split, or mesh route) → host
-//! DMA. Write: data-in (same path choices) → array tPROG. The pnSSD greedy
-//! adaptive policy compares when each path could *start* at the moment the
-//! data is ready, exactly the "first available channel" heuristic of §VII-B.
+//! Read: command → array tR → data-out → host DMA. Write: data-in → array
+//! tPROG. Every data movement and path choice (the greedy adaptive h/v
+//! policy, page splitting, mesh controller selection) lives behind the
+//! [`super::FabricBackend`] the simulator was constructed with; this module
+//! only sequences the flash array, the fabric, and the host pipes.
 
 use nssd_flash::{FlashCommand, PageAddr};
 use nssd_host::IoOp;
-use nssd_interconnect::{ControlPacket, MeshEndpoint};
-use nssd_sim::SimTime;
 
-use super::{reserve_with_link_faults, Event, SsdSim};
-use crate::{Architecture, Traffic};
-
-/// Which Omnibus path a transfer uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum PnPath {
-    /// The chip's horizontal channel.
-    H,
-    /// The chip's vertical channel.
-    V,
-}
+use super::{Event, SsdSim};
+use crate::Traffic;
 
 impl SsdSim {
     pub(crate) fn chip_index(&self, addr: PageAddr) -> usize {
         self.cfg.geometry.chip_index(addr.channel, addr.way)
-    }
-
-    fn io_tag(is_read: bool) -> usize {
-        if is_read {
-            Traffic::HostRead.tag()
-        } else {
-            Traffic::HostWrite.tag()
-        }
-    }
-
-    /// Reserves the full mesh route for a packet of `flits`, cut-through
-    /// style: each link is occupied for the serialization time, offset by
-    /// the per-hop router latency. Returns the delivery time.
-    pub(crate) fn reserve_mesh_path(
-        &mut self,
-        src: MeshEndpoint,
-        dst: MeshEndpoint,
-        flits: u64,
-        at: SimTime,
-        tag: usize,
-    ) -> SimTime {
-        let mesh = self.mesh.expect("mesh architecture");
-        let params = self.mesh_params.expect("mesh architecture");
-        let ser = params.link.flit_time(flits);
-        let links = mesh.route(src, dst);
-        let mut ready = at;
-        let mut end = at;
-        for l in links {
-            let r = self.mesh_links[l.0].reserve_tagged(ready, ser, tag);
-            ready = r.start + params.hop_latency;
-            end = r.end;
-        }
-        end
-    }
-
-    /// Greedy controller choice for the NoSSD mesh: any controller can
-    /// serve any chip (the mesh decouples front-end from back-end), so pick
-    /// the one whose edge links free up earliest, preferring the chip's own
-    /// column on ties. This is the path-diversity benefit the unconstrained
-    /// NoSSD configuration is meant to demonstrate.
-    pub(crate) fn choose_mesh_controller(&self, addr: PageAddr) -> u32 {
-        let mesh = self.mesh.expect("mesh architecture");
-        let cols = mesh.cols();
-        let score = |c: u32| {
-            let inject = &self.mesh_links[c as usize];
-            let eject = &self.mesh_links[(cols + c) as usize];
-            inject.next_free().max(eject.next_free())
-        };
-        let mut best = addr.channel;
-        let mut best_t = score(best);
-        for c in 0..cols {
-            let t = score(c);
-            if t < best_t {
-                best_t = t;
-                best = c;
-            }
-        }
-        best
-    }
-
-    /// The v-channel index serving `way` (pnSSD only).
-    pub(crate) fn v_index(&self, way: u32) -> usize {
-        self.omnibus
-            .expect("omnibus architecture")
-            .v_channel_of_way(way) as usize
-    }
-
-    /// When a v-channel transfer for this chip could begin: the channel's
-    /// availability pushed by the control-plane handshake with the
-    /// v-channel's owning controller.
-    fn v_ready(&self, addr: PageAddr, at: SimTime) -> (usize, SimTime) {
-        let omni = self.omnibus.expect("omnibus architecture");
-        let v = omni.v_channel_of_way(addr.way);
-        let msgs = omni.io_v_handshake_messages(addr.channel, v);
-        let hs = omni.handshake_time(msgs, self.cfg.ctrl_msg_latency);
-        (v as usize, at + hs)
-    }
-
-    /// Greedy adaptive path choice: whichever path can start earlier, ties
-    /// favoring the horizontal channel (it needs no handshake).
-    pub(crate) fn choose_pn_path(&self, addr: PageAddr, at: SimTime) -> PnPath {
-        let h_start = self.h_channels[addr.channel as usize].earliest_start(at);
-        let (v, v_at) = self.v_ready(addr, at);
-        let v_start = self.v_channels[v].earliest_start(v_at);
-        if v_start < h_start {
-            PnPath::V
-        } else {
-            PnPath::H
-        }
-    }
-
-    /// Water-filling split plan (§V-C): choose how many page bytes ride the
-    /// h-channel vs the v-channel so both halves *finish* together, given
-    /// when each channel can start. With both paths idle this is the paper's
-    /// half/half split; with one path congested it degenerates to the
-    /// single-path greedy choice. Returns `(bytes_h, bytes_v, v_idx, v_at)`.
-    pub(crate) fn split_plan(
-        &self,
-        addr: PageAddr,
-        at: SimTime,
-        page: u32,
-    ) -> (u32, u32, usize, SimTime) {
-        const MIN_CHUNK: u32 = 1024;
-        let h_start = self.h_channels[addr.channel as usize].earliest_start(at);
-        let (v, v_at) = self.v_ready(addr, at);
-        let v_start = self.v_channels[v].earliest_start(v_at);
-        // Both channels move ~1 byte per ns (8-bit @ 1000 MT/s); equalize
-        // finish times: h_start + bytes_h = v_start + (page - bytes_h).
-        let ns_per_byte =
-            1_000.0 / (self.cfg.channel_mts as f64 * self.cfg.base_width_bits as f64 / 8.0);
-        let skew_bytes = (v_start.as_ns() as f64 - h_start.as_ns() as f64) / ns_per_byte;
-        let bytes_h = ((page as f64 + skew_bytes) / 2.0)
-            .round()
-            .clamp(0.0, page as f64) as u32;
-        let bytes_h = if bytes_h < MIN_CHUNK {
-            0
-        } else if page - bytes_h < MIN_CHUNK {
-            page
-        } else {
-            bytes_h
-        };
-        (bytes_h, page - bytes_h, v, v_at)
     }
 
     /// StartTrans: reads issue the command and the array read; writes move
@@ -164,175 +32,37 @@ impl SsdSim {
     }
 
     fn start_read_command(&mut self, t: usize, addr: PageAddr) {
-        let tag = Self::io_tag(true);
-        let cmd_end = match self.cfg.architecture {
-            Architecture::BaseSsd => {
-                let ded = self.ded.expect("dedicated bus");
-                let dur = ded.command_phase(FlashCommand::ReadPage);
-                self.h_channels[addr.channel as usize]
-                    .reserve_tagged(self.now, dur, tag)
-                    .end
-            }
-            Architecture::PSsd
-            | Architecture::PnSsd
-            | Architecture::PnSsdSplit
-            | Architecture::ChannelSliced => {
-                // Commands ride the h-channel: they are a handful of flits
-                // and the h-controller owns the chip's command path.
-                let pkt = self.pkt_h.expect("packet bus");
-                let dur = pkt.control_packet_time(FlashCommand::ReadPage);
-                self.h_channels[addr.channel as usize]
-                    .reserve_tagged(self.now, dur, tag)
-                    .end
-            }
-            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
-                let ctrl = self.choose_mesh_controller(addr);
-                self.trans[t].mesh_ctrl = ctrl;
-                let flits = ControlPacket::for_command(FlashCommand::ReadPage).flits();
-                self.reserve_mesh_path(
-                    MeshEndpoint::Controller(ctrl),
-                    MeshEndpoint::Chip {
-                        row: addr.way,
-                        col: addr.channel,
-                    },
-                    flits,
-                    self.now,
-                    tag,
-                )
-            }
-        };
+        let tag = Traffic::io(true).tag();
+        let now = self.now;
+        let (fabric, mut ctx) = self.fabric_parts();
+        let cmd = fabric.control_handshake(&mut ctx, addr, FlashCommand::ReadPage, now, tag);
+        self.trans[t].mesh_ctrl = cmd.ctrl;
         let chip = self.chip_index(addr);
         let fault = self.sample_read_fault(addr);
-        let read = self.chips[chip].reserve_read(addr.die, addr.plane, cmd_end);
+        let read = self.chips[chip].reserve_read(addr.die, addr.plane, cmd.end);
         let ready = self.apply_read_fault(chip, addr, read.end, fault);
         self.queue.schedule(ready, Event::ArrayDone(t));
     }
 
     fn start_write_data_in(&mut self, t: usize, addr: PageAddr) {
-        let tag = Self::io_tag(false);
+        let tag = Traffic::io(false).tag();
         let page = self.page_bytes();
-        match self.cfg.architecture {
-            Architecture::BaseSsd => {
-                let ded = self.ded.expect("dedicated bus");
-                let dur =
-                    ded.command_phase(FlashCommand::ProgramPage) + ded.data_phase(page as u64);
-                let r = self.h_channels[addr.channel as usize].reserve_tagged(self.now, dur, tag);
-                // No frame check on the dedicated-signal interface: wire
-                // corruption is programmed as-is, silently.
-                self.faults.raw_transfer(page as u64);
-                self.trans[t].halves_left = 1;
-                self.queue.schedule(r.end, Event::XferHalfDone(t));
-            }
-            Architecture::PSsd | Architecture::ChannelSliced => {
-                // Channel-sliced (Fig 9b): the controller only reaches the
-                // chip over the 8-bit h-channel — the v-channels are
-                // chip-to-chip only, so host I/O cannot use them.
-                let pkt = self.pkt_h.expect("packet bus");
-                let dur = pkt.write_in_time(page);
-                let r = reserve_with_link_faults(
-                    &mut self.h_channels[addr.channel as usize],
-                    &mut self.faults,
-                    self.now,
-                    dur,
-                    page as u64,
-                    tag,
-                );
-                self.trans[t].halves_left = 1;
-                self.queue.schedule(r.end, Event::XferHalfDone(t));
-            }
-            Architecture::PnSsd => {
-                let dur_h = self.pkt_h.expect("h bus").write_in_time(page);
-                let dur_v = self.pkt_v.expect("v bus").write_in_time(page);
-                let r = match self.choose_pn_path(addr, self.now) {
-                    PnPath::H => reserve_with_link_faults(
-                        &mut self.h_channels[addr.channel as usize],
-                        &mut self.faults,
-                        self.now,
-                        dur_h,
-                        page as u64,
-                        tag,
-                    ),
-                    PnPath::V => {
-                        let (v, at) = self.v_ready(addr, self.now);
-                        reserve_with_link_faults(
-                            &mut self.v_channels[v],
-                            &mut self.faults,
-                            at,
-                            dur_v,
-                            page as u64,
-                            tag,
-                        )
-                    }
-                };
-                self.trans[t].halves_left = 1;
-                self.queue.schedule(r.end, Event::XferHalfDone(t));
-            }
-            Architecture::PnSsdSplit => {
-                let (bytes_h, bytes_v, v, v_at) = self.split_plan(addr, self.now, page);
-                let mut halves = 0u8;
-                let mut ends = Vec::with_capacity(2);
-                if bytes_h > 0 {
-                    let dur = self.pkt_h.expect("h bus").write_in_time(bytes_h);
-                    ends.push(
-                        reserve_with_link_faults(
-                            &mut self.h_channels[addr.channel as usize],
-                            &mut self.faults,
-                            self.now,
-                            dur,
-                            bytes_h as u64,
-                            tag,
-                        )
-                        .end,
-                    );
-                    halves += 1;
-                }
-                if bytes_v > 0 {
-                    let dur = self.pkt_v.expect("v bus").write_in_time(bytes_v);
-                    ends.push(
-                        reserve_with_link_faults(
-                            &mut self.v_channels[v],
-                            &mut self.faults,
-                            v_at,
-                            dur,
-                            bytes_v as u64,
-                            tag,
-                        )
-                        .end,
-                    );
-                    halves += 1;
-                }
-                self.trans[t].halves_left = halves;
-                for end in ends {
-                    self.queue.schedule(end, Event::XferHalfDone(t));
-                }
-            }
-            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
-                let ctrl = self.choose_mesh_controller(addr);
-                self.trans[t].mesh_ctrl = ctrl;
-                let flits = ControlPacket::for_command(FlashCommand::ProgramPage).flits()
-                    + nssd_interconnect::DataPacket::new(page).flits();
-                let end = self.reserve_mesh_path(
-                    MeshEndpoint::Controller(ctrl),
-                    MeshEndpoint::Chip {
-                        row: addr.way,
-                        col: addr.channel,
-                    },
-                    flits,
-                    self.now,
-                    tag,
-                );
-                self.trans[t].halves_left = 1;
-                self.queue.schedule(end, Event::XferHalfDone(t));
-            }
+        let now = self.now;
+        let (fabric, mut ctx) = self.fabric_parts();
+        let plan = fabric.reserve_write_in(&mut ctx, addr, page, now, tag);
+        self.trans[t].mesh_ctrl = plan.ctrl;
+        self.trans[t].halves_left = plan.halves();
+        for end in plan.ends() {
+            self.queue.schedule(end, Event::XferHalfDone(t));
         }
     }
 
     /// ArrayDone: a read's tR finished (page register holds the data — move
     /// it out), or a write's tPROG finished (the page is durable).
     pub(crate) fn on_array_done(&mut self, t: usize) {
-        let (addr, is_read) = {
+        let (addr, is_read, ctrl) = {
             let tr = &self.trans[t];
-            (tr.addr, tr.is_read)
+            (tr.addr, tr.is_read, tr.mesh_ctrl)
         };
         if !is_read {
             let pbn = self.cfg.geometry.pbn(addr.block_addr());
@@ -340,114 +70,14 @@ impl SsdSim {
             self.queue.schedule(self.now, Event::PageDone(t));
             return;
         }
-        let tag = Self::io_tag(true);
+        let tag = Traffic::io(true).tag();
         let page = self.page_bytes();
-        match self.cfg.architecture {
-            Architecture::BaseSsd => {
-                let ded = self.ded.expect("dedicated bus");
-                let dur = ded.data_phase(page as u64);
-                let r = self.h_channels[addr.channel as usize].reserve_tagged(self.now, dur, tag);
-                self.faults.raw_transfer(page as u64);
-                self.trans[t].halves_left = 1;
-                self.queue.schedule(r.end, Event::XferHalfDone(t));
-            }
-            Architecture::PSsd | Architecture::ChannelSliced => {
-                let pkt = self.pkt_h.expect("packet bus");
-                let dur = pkt.read_out_time(page);
-                let r = reserve_with_link_faults(
-                    &mut self.h_channels[addr.channel as usize],
-                    &mut self.faults,
-                    self.now,
-                    dur,
-                    page as u64,
-                    tag,
-                );
-                self.trans[t].halves_left = 1;
-                self.queue.schedule(r.end, Event::XferHalfDone(t));
-            }
-            Architecture::PnSsd => {
-                let dur_h = self.pkt_h.expect("h bus").read_out_time(page);
-                let dur_v = self.pkt_v.expect("v bus").read_out_time(page);
-                let r = match self.choose_pn_path(addr, self.now) {
-                    PnPath::H => reserve_with_link_faults(
-                        &mut self.h_channels[addr.channel as usize],
-                        &mut self.faults,
-                        self.now,
-                        dur_h,
-                        page as u64,
-                        tag,
-                    ),
-                    PnPath::V => {
-                        let (v, at) = self.v_ready(addr, self.now);
-                        reserve_with_link_faults(
-                            &mut self.v_channels[v],
-                            &mut self.faults,
-                            at,
-                            dur_v,
-                            page as u64,
-                            tag,
-                        )
-                    }
-                };
-                self.trans[t].halves_left = 1;
-                self.queue.schedule(r.end, Event::XferHalfDone(t));
-            }
-            Architecture::PnSsdSplit => {
-                let (bytes_h, bytes_v, v, v_at) = self.split_plan(addr, self.now, page);
-                let mut halves = 0u8;
-                let mut ends = Vec::with_capacity(2);
-                if bytes_h > 0 {
-                    let dur = self.pkt_h.expect("h bus").read_out_time(bytes_h);
-                    ends.push(
-                        reserve_with_link_faults(
-                            &mut self.h_channels[addr.channel as usize],
-                            &mut self.faults,
-                            self.now,
-                            dur,
-                            bytes_h as u64,
-                            tag,
-                        )
-                        .end,
-                    );
-                    halves += 1;
-                }
-                if bytes_v > 0 {
-                    let dur = self.pkt_v.expect("v bus").read_out_time(bytes_v);
-                    ends.push(
-                        reserve_with_link_faults(
-                            &mut self.v_channels[v],
-                            &mut self.faults,
-                            v_at,
-                            dur,
-                            bytes_v as u64,
-                            tag,
-                        )
-                        .end,
-                    );
-                    halves += 1;
-                }
-                self.trans[t].halves_left = halves;
-                for end in ends {
-                    self.queue.schedule(end, Event::XferHalfDone(t));
-                }
-            }
-            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
-                let ctrl = self.trans[t].mesh_ctrl;
-                let flits = ControlPacket::for_command(FlashCommand::ReadDataTransfer).flits()
-                    + nssd_interconnect::DataPacket::new(page).flits();
-                let end = self.reserve_mesh_path(
-                    MeshEndpoint::Chip {
-                        row: addr.way,
-                        col: addr.channel,
-                    },
-                    MeshEndpoint::Controller(ctrl),
-                    flits,
-                    self.now,
-                    tag,
-                );
-                self.trans[t].halves_left = 1;
-                self.queue.schedule(end, Event::XferHalfDone(t));
-            }
+        let now = self.now;
+        let (fabric, mut ctx) = self.fabric_parts();
+        let plan = fabric.reserve_read_out(&mut ctx, addr, page, ctrl, now, tag);
+        self.trans[t].halves_left = plan.halves();
+        for end in plan.ends() {
+            self.queue.schedule(end, Event::XferHalfDone(t));
         }
     }
 

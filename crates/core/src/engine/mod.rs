@@ -6,6 +6,7 @@
 //! routing decision (the greedy h-vs-v choice, page splitting, preemptive GC
 //! yielding) is made with resource state *at the moment the data is ready*.
 
+mod fabric;
 mod gcrun;
 mod iopath;
 
@@ -15,16 +16,16 @@ use nssd_faults::{FaultEngine, ReadFault};
 use nssd_flash::{FlashChip, PageAddr, Pbn, Ppn};
 use nssd_ftl::{Ftl, FtlConfig, FtlError, Lpn, Relocation};
 use nssd_host::{HostPipes, IoOp, IoRequest};
-use nssd_interconnect::{DedicatedBus, Mesh, MeshParams, Omnibus, PacketBus};
 use nssd_oracle::Oracle;
 use nssd_sim::DetRng;
 use nssd_sim::{EventQueue, Histogram, Reservation, Resource, SimTime};
 
 use crate::{
-    Architecture, ChannelUtilSummary, EccMode, EnergySummary, GcSummary, LatencySummary, SimReport,
-    SsdConfig, Traffic,
+    ChannelUtilSummary, EccMode, EnergySummary, GcSummary, LatencySummary, SimReport, SsdConfig,
+    Traffic,
 };
 
+pub(crate) use fabric::{FabricBackend, FabricCtx, GcEcc};
 pub(crate) use gcrun::GcRuntime;
 
 /// Events driving the simulation.
@@ -127,13 +128,9 @@ pub struct SsdSim {
     /// `ftl_page_latency` is nonzero.
     ftl_cores: Vec<Resource>,
     pub(crate) host: HostPipes,
-    // Interconnect models (populated per architecture).
-    ded: Option<DedicatedBus>,
-    pkt_h: Option<PacketBus>,
-    pkt_v: Option<PacketBus>,
-    mesh: Option<Mesh>,
-    mesh_params: Option<MeshParams>,
-    pub(crate) omnibus: Option<Omnibus>,
+    /// The architecture's data-movement backend; the only per-architecture
+    /// dispatch happens once, at construction (see [`fabric::build`]).
+    fabric: Box<dyn FabricBackend>,
     // Workload.
     arrivals: Vec<IoRequest>,
     closed_loop_depth: Option<usize>,
@@ -202,23 +199,25 @@ impl SsdSim {
         let h_channels = (0..g.channels)
             .map(|_| Resource::with_recorder(cfg.util_window, Traffic::COUNT))
             .collect();
+        let fabric = fabric::build(&cfg);
+        let v_channels = (0..fabric.v_channel_count())
+            .map(|_| Resource::with_recorder(cfg.util_window, Traffic::COUNT))
+            .collect();
+        let mesh_links = (0..fabric.mesh_link_count())
+            .map(|_| Resource::with_recorder(cfg.util_window, Traffic::COUNT))
+            .collect();
 
-        let mut sim = SsdSim {
+        let sim = SsdSim {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             ftl,
             chips,
             h_channels,
-            v_channels: Vec::new(),
-            mesh_links: Vec::new(),
+            v_channels,
+            mesh_links,
             ftl_cores: (0..cfg.ftl_cores).map(|_| Resource::new()).collect(),
             host: HostPipes::new(cfg.host_params()),
-            ded: None,
-            pkt_h: None,
-            pkt_v: None,
-            mesh: None,
-            mesh_params: None,
-            omnibus: None,
+            fabric,
             arrivals: Vec::new(),
             closed_loop_depth: None,
             next_issue: 0,
@@ -242,33 +241,32 @@ impl SsdSim {
             last_completion: SimTime::ZERO,
             cfg,
         };
-
-        match cfg.architecture {
-            Architecture::BaseSsd => {
-                sim.ded = Some(DedicatedBus::new(cfg.h_bus()));
-            }
-            Architecture::PSsd => {
-                sim.pkt_h = Some(PacketBus::new(cfg.h_bus()));
-            }
-            Architecture::PnSsd | Architecture::PnSsdSplit | Architecture::ChannelSliced => {
-                sim.pkt_h = Some(PacketBus::new(cfg.h_bus()));
-                sim.pkt_v = Some(PacketBus::new(cfg.v_bus()));
-                let omni = Omnibus::new(g.channels, g.ways, g.channels);
-                sim.v_channels = (0..omni.v_channel_count())
-                    .map(|_| Resource::with_recorder(cfg.util_window, Traffic::COUNT))
-                    .collect();
-                sim.omnibus = Some(omni);
-            }
-            Architecture::NoSsdPinConstrained | Architecture::NoSsdUnconstrained => {
-                let mesh = Mesh::new(g.ways, g.channels);
-                sim.mesh_links = (0..mesh.link_count())
-                    .map(|_| Resource::with_recorder(cfg.util_window, Traffic::COUNT))
-                    .collect();
-                sim.mesh = Some(mesh);
-                sim.mesh_params = Some(cfg.mesh_params());
-            }
-        }
         Ok(sim)
+    }
+
+    /// Splits the simulator into the fabric backend and the resource
+    /// context it reserves against — disjoint field borrows, so the
+    /// caller's other state (queue, trans, gc, …) stays usable.
+    pub(crate) fn fabric_parts(&mut self) -> (&dyn FabricBackend, FabricCtx<'_>) {
+        (
+            self.fabric.as_ref(),
+            FabricCtx {
+                h_channels: &mut self.h_channels,
+                v_channels: &mut self.v_channels,
+                mesh_links: &mut self.mesh_links,
+                faults: &mut self.faults,
+                host: &mut self.host,
+            },
+        )
+    }
+
+    /// The GC ECC charges under the configured mode, resolved once per copy
+    /// for the fabric backend.
+    pub(crate) fn gc_ecc(&self) -> GcEcc {
+        GcEcc {
+            staged: self.ecc_gc_staged_delay(),
+            f2f: self.ecc_f2f_delay(),
+        }
     }
 
     /// The configuration in use.
@@ -735,7 +733,7 @@ impl SsdSim {
                 })
                 .collect()
         };
-        let util = if self.mesh.is_some() {
+        let util = if self.fabric.is_mesh() {
             ChannelUtilSummary {
                 read: per_channel_mesh(Traffic::HostRead.tag()),
                 write: per_channel_mesh(Traffic::HostWrite.tag()),

@@ -302,6 +302,72 @@ mod tests {
     }
 
     #[test]
+    fn non_divisible_ways_spread_evenly_and_monotonically() {
+        // 3 controllers over 8 ways: groups are contiguous, monotone, and
+        // every v-channel serves at least one column.
+        let t = Omnibus::new(3, 8, 3);
+        assert_eq!(t.v_channel_count(), 3);
+        let groups: Vec<u32> = (0..8).map(|w| t.v_channel_of_way(w)).collect();
+        assert_eq!(groups, [0, 0, 0, 1, 1, 1, 2, 2]);
+        for pair in groups.windows(2) {
+            assert!(pair[0] <= pair[1], "grouping must be monotone: {groups:?}");
+        }
+        for v in 0..3 {
+            assert!(groups.contains(&v), "v-channel {v} serves no column");
+        }
+    }
+
+    #[test]
+    fn f2f_on_non_divisible_grouping() {
+        let t = Omnibus::new(3, 8, 3);
+        // Within one column group: direct copy possible.
+        assert_eq!(t.f2f_v_channel(0, 2), Some(0));
+        assert_eq!(t.f2f_v_channel(6, 7), Some(2));
+        // Across the uneven group boundary: staged through the controller.
+        assert_eq!(t.f2f_v_channel(2, 3), None);
+        assert_eq!(t.f2f_v_channel(5, 6), None);
+    }
+
+    #[test]
+    fn role_priority_when_controller_plays_several_parts() {
+        let t = Omnibus::new(3, 8, 3);
+        // Source identity wins even when the controller also owns the
+        // v-channel (Fig 11a: the owner-as-source case).
+        assert_eq!(t.role_of(0, 0, 1, 0), Some(ControllerRole::Source));
+        // Same-channel copy: the one controller is both source and
+        // destination; Source is reported.
+        assert_eq!(t.role_of(1, 1, 1, 2), Some(ControllerRole::Source));
+        assert_eq!(t.role_of(2, 1, 1, 2), Some(ControllerRole::Intermediate));
+        assert_eq!(t.role_of(0, 1, 1, 2), None);
+    }
+
+    #[test]
+    fn single_controller_degenerate_case() {
+        // One channel, one controller, several ways: every column shares
+        // the single v-channel and every handshake is controller-local.
+        let t = Omnibus::new(1, 4, 1);
+        assert_eq!(t.v_channel_count(), 1);
+        for w in 0..4 {
+            assert_eq!(t.v_channel_of_way(w), 0);
+        }
+        for (a, b) in [(0, 1), (0, 3), (2, 2)] {
+            assert_eq!(t.f2f_v_channel(a, b), Some(0));
+        }
+        // The lone controller is source, destination, and owner at once;
+        // Source wins, and no SoC messages are exchanged.
+        assert_eq!(t.role_of(0, 0, 0, 0), Some(ControllerRole::Source));
+        assert_eq!(t.f2f_handshake_messages(0, 0, 0), 0);
+        assert_eq!(t.io_v_handshake_messages(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn way_out_of_range_rejected() {
+        let t = Omnibus::new(3, 8, 3);
+        let _ = t.v_channel_of_way(8);
+    }
+
+    #[test]
     fn nak_recovery_scales_with_edges() {
         let t = Omnibus::new(8, 8, 8);
         assert_eq!(t.nak_recovery_messages(0), 0);
