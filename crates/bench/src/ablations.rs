@@ -17,16 +17,24 @@ use crate::table::{fmt_ratio, fmt_us, Table};
 pub fn abl_ctrl_latency() -> Experiment {
     let requests = setup::requests_per_run() / 2;
     let mut t = Table::new(vec!["ctrl msg latency", "mean latency", "vs 0ns"]);
+    let latencies = [0u64, 100, 250, 500, 1000, 2000];
+    let jobs: Vec<_> = latencies
+        .iter()
+        .map(|&ns| {
+            move || {
+                let mut cfg = setup::io_config(Architecture::PnSsdSplit);
+                cfg.ctrl_msg_latency = SimTime::from_ns(ns);
+                let trace = PaperWorkload::Exchange1.generate(
+                    requests,
+                    setup::io_footprint(&cfg),
+                    setup::EXPERIMENT_SEED,
+                );
+                run_trace(cfg, trace).expect("abl run")
+            }
+        })
+        .collect();
     let mut base = 0.0f64;
-    for ns in [0u64, 100, 250, 500, 1000, 2000] {
-        let mut cfg = setup::io_config(Architecture::PnSsdSplit);
-        cfg.ctrl_msg_latency = SimTime::from_ns(ns);
-        let trace = PaperWorkload::Exchange1.generate(
-            requests,
-            setup::io_footprint(&cfg),
-            setup::EXPERIMENT_SEED,
-        );
-        let r = run_trace(cfg, &trace).expect("abl run");
+    for (&ns, r) in latencies.iter().zip(nssd_sim::scoped_map(jobs).iter()) {
         let mean = r.all.mean.as_ns() as f64;
         if ns == 0 {
             base = mean;
@@ -61,16 +69,24 @@ pub fn abl_gc_group_fraction() -> Experiment {
         "gc events".to_string(),
         "write amplification".to_string(),
     ]);
-    for fraction in [0.25f64, 0.5, 0.75] {
-        let mut cfg = setup::gc_config(Architecture::PnSsdSplit, GcPolicy::Spatial);
-        cfg.gc.gc_group_fraction = fraction;
-        let trace = PaperWorkload::YcsbA.generate(
-            requests,
-            setup::gc_footprint(&cfg),
-            setup::EXPERIMENT_SEED,
-        );
-        let r = run_trace_preconditioned(cfg, &trace, setup::GC_FILL, setup::GC_OVERWRITE)
-            .expect("abl run");
+    let fractions = [0.25f64, 0.5, 0.75];
+    let jobs: Vec<_> = fractions
+        .iter()
+        .map(|&fraction| {
+            move || {
+                let mut cfg = setup::gc_config(Architecture::PnSsdSplit, GcPolicy::Spatial);
+                cfg.gc.gc_group_fraction = fraction;
+                let trace = PaperWorkload::YcsbA.generate(
+                    requests,
+                    setup::gc_footprint(&cfg),
+                    setup::EXPERIMENT_SEED,
+                );
+                run_trace_preconditioned(cfg, trace, setup::GC_FILL, setup::GC_OVERWRITE)
+                    .expect("abl run")
+            }
+        })
+        .collect();
+    for (&fraction, r) in fractions.iter().zip(nssd_sim::scoped_map(jobs).iter()) {
         t.row(vec![
             format!("{:.0}% of ways", fraction * 100.0),
             fmt_us(r.read.mean.as_ns()),
@@ -100,19 +116,27 @@ pub fn abl_victim_policy() -> Experiment {
         "pages copied".to_string(),
         "write amplification".to_string(),
     ]);
-    for (label, policy) in [
+    let policies = [
         ("greedy", VictimPolicy::Greedy),
         ("random", VictimPolicy::Random),
-    ] {
-        let mut cfg = setup::gc_config(Architecture::PSsd, GcPolicy::Parallel);
-        cfg.gc.victim_policy = policy;
-        let trace = PaperWorkload::Build0.generate(
-            requests,
-            setup::gc_footprint(&cfg),
-            setup::EXPERIMENT_SEED,
-        );
-        let r = run_trace_preconditioned(cfg, &trace, setup::GC_FILL, setup::GC_OVERWRITE)
-            .expect("abl run");
+    ];
+    let jobs: Vec<_> = policies
+        .iter()
+        .map(|&(_, policy)| {
+            move || {
+                let mut cfg = setup::gc_config(Architecture::PSsd, GcPolicy::Parallel);
+                cfg.gc.victim_policy = policy;
+                let trace = PaperWorkload::Build0.generate(
+                    requests,
+                    setup::gc_footprint(&cfg),
+                    setup::EXPERIMENT_SEED,
+                );
+                run_trace_preconditioned(cfg, trace, setup::GC_FILL, setup::GC_OVERWRITE)
+                    .expect("abl run")
+            }
+        })
+        .collect();
+    for (&(label, _), r) in policies.iter().zip(nssd_sim::scoped_map(jobs).iter()) {
         t.row(vec![
             label.to_string(),
             fmt_us(r.all.mean.as_ns()),
@@ -140,22 +164,35 @@ pub fn abl_flash_generation() -> Experiment {
         "pSSD mean".to_string(),
         "pSSD speedup".to_string(),
     ]);
-    for (label, timing) in [
+    let generations = [
         ("ULL (paper)", FlashTiming::ull()),
         ("TLC", FlashTiming::tlc()),
-    ] {
-        let mut means = Vec::new();
-        for arch in [Architecture::BaseSsd, Architecture::PSsd] {
-            let mut cfg = setup::io_config(arch);
-            cfg.timing = timing;
-            let trace = PaperWorkload::WebSearch0.generate(
-                requests,
-                setup::io_footprint(&cfg),
-                setup::EXPERIMENT_SEED,
-            );
-            let r = run_trace(cfg, &trace).expect("abl run");
-            means.push(r.all.mean.as_ns() as f64);
-        }
+    ];
+    let jobs: Vec<_> = generations
+        .iter()
+        .flat_map(|&(_, timing)| {
+            [Architecture::BaseSsd, Architecture::PSsd]
+                .into_iter()
+                .map(move |arch| {
+                    move || {
+                        let mut cfg = setup::io_config(arch);
+                        cfg.timing = timing;
+                        let trace = PaperWorkload::WebSearch0.generate(
+                            requests,
+                            setup::io_footprint(&cfg),
+                            setup::EXPERIMENT_SEED,
+                        );
+                        run_trace(cfg, trace).expect("abl run")
+                    }
+                })
+        })
+        .collect();
+    let reports = nssd_sim::scoped_map(jobs);
+    for (i, &(label, _)) in generations.iter().enumerate() {
+        let means: Vec<f64> = reports[2 * i..2 * i + 2]
+            .iter()
+            .map(|r| r.all.mean.as_ns() as f64)
+            .collect();
         t.row(vec![
             label.to_string(),
             fmt_us(means[0] as u64),
@@ -185,29 +222,46 @@ pub fn abl_omnibus_shapes() -> Experiment {
         "baseSSD mean".to_string(),
         "speedup".to_string(),
     ]);
-    for (label, channels, ways) in [
+    let shapes = [
         ("8ch x 8way (paper)", 8u32, 8u32),
         ("8ch x 4way (tall)", 8, 4),
         ("4ch x 8way (wide)", 4, 8),
-    ] {
-        let shape = |arch: Architecture| {
-            let mut cfg = setup::io_config(arch);
-            cfg.geometry = Geometry {
-                channels,
-                ways,
-                ..Geometry::scaled()
+    ];
+    // Both architectures of a shape run the *same* trace (sized from the
+    // pnSSD config), so generate once per shape and share it by reference.
+    let cells: Vec<_> = shapes
+        .iter()
+        .map(|&(_, channels, ways)| {
+            let shape = |arch: Architecture| {
+                let mut cfg = setup::io_config(arch);
+                cfg.geometry = Geometry {
+                    channels,
+                    ways,
+                    ..Geometry::scaled()
+                };
+                cfg
             };
-            cfg
-        };
-        let pn_cfg = shape(Architecture::PnSsdSplit);
-        let spec = SyntheticSpec::paper(
-            SyntheticPattern::RandomRead,
-            requests,
-            pn_cfg.logical_bytes() / 2,
-        );
-        let trace = spec.generate();
-        let pn = run_closed_loop(pn_cfg, &trace, 32).expect("abl run");
-        let base = run_closed_loop(shape(Architecture::BaseSsd), &trace, 32).expect("abl run");
+            let pn_cfg = shape(Architecture::PnSsdSplit);
+            let trace = SyntheticSpec::paper(
+                SyntheticPattern::RandomRead,
+                requests,
+                pn_cfg.logical_bytes() / 2,
+            )
+            .generate();
+            (pn_cfg, shape(Architecture::BaseSsd), trace)
+        })
+        .collect();
+    let jobs: Vec<_> = cells
+        .iter()
+        .flat_map(|(pn_cfg, base_cfg, trace)| {
+            [*pn_cfg, *base_cfg]
+                .into_iter()
+                .map(move |cfg| move || run_closed_loop(cfg, trace, 32).expect("abl run"))
+        })
+        .collect();
+    let reports = nssd_sim::scoped_map(jobs);
+    for (i, &(label, channels, ways)) in shapes.iter().enumerate() {
+        let (pn, base) = (&reports[2 * i], &reports[2 * i + 1]);
         let v_channels = channels.min(ways);
         t.row(vec![
             label.to_string(),
@@ -239,19 +293,32 @@ pub fn abl_ftl_compute() -> Experiment {
         "pSSD mean".to_string(),
         "pSSD speedup".to_string(),
     ]);
-    for us in [0u64, 1, 2, 4, 8] {
-        let mut means = Vec::new();
-        for arch in [Architecture::BaseSsd, Architecture::PSsd] {
-            let mut cfg = setup::io_config(arch);
-            cfg.ftl_page_latency = SimTime::from_us(us);
-            let trace = PaperWorkload::WebSearch0.generate(
-                requests,
-                setup::io_footprint(&cfg),
-                setup::EXPERIMENT_SEED,
-            );
-            let r = run_trace(cfg, &trace).expect("abl run");
-            means.push(r.all.mean.as_ns() as f64);
-        }
+    let latencies = [0u64, 1, 2, 4, 8];
+    let jobs: Vec<_> = latencies
+        .iter()
+        .flat_map(|&us| {
+            [Architecture::BaseSsd, Architecture::PSsd]
+                .into_iter()
+                .map(move |arch| {
+                    move || {
+                        let mut cfg = setup::io_config(arch);
+                        cfg.ftl_page_latency = SimTime::from_us(us);
+                        let trace = PaperWorkload::WebSearch0.generate(
+                            requests,
+                            setup::io_footprint(&cfg),
+                            setup::EXPERIMENT_SEED,
+                        );
+                        run_trace(cfg, trace).expect("abl run")
+                    }
+                })
+        })
+        .collect();
+    let reports = nssd_sim::scoped_map(jobs);
+    for (i, &us) in latencies.iter().enumerate() {
+        let means: Vec<f64> = reports[2 * i..2 * i + 2]
+            .iter()
+            .map(|r| r.all.mean.as_ns() as f64)
+            .collect();
         t.row(vec![
             format!("{us}us"),
             fmt_us(means[0] as u64),

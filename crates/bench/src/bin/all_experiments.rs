@@ -5,6 +5,10 @@ use std::io::Write;
 
 fn main() {
     let mut md = String::from("# Measured results (all experiments)\n\n");
+    eprintln!(
+        ">>> fanning independent cells across {} worker(s) (override with NSSD_JOBS)",
+        nssd_sim::Pool::from_env().workers()
+    );
     for (id, thunk) in nssd_bench::all() {
         eprintln!(">>> running {id}");
         let exp = thunk();

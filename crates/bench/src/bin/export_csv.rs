@@ -7,6 +7,10 @@ use std::io::Write;
 fn main() {
     let dir = "results_csv";
     fs::create_dir_all(dir).expect("create results_csv/");
+    eprintln!(
+        ">>> fanning independent cells across {} worker(s) (override with NSSD_JOBS)",
+        nssd_sim::Pool::from_env().workers()
+    );
     for (id, thunk) in nssd_bench::all() {
         eprintln!(">>> running {id}");
         let exp = thunk();

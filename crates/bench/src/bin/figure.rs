@@ -57,6 +57,10 @@ fn main() -> ExitCode {
         };
     }
     let registry = nssd_bench::all();
+    eprintln!(
+        ">>> fanning independent cells across {} worker(s) (override with NSSD_JOBS)",
+        nssd_sim::Pool::from_env().workers()
+    );
     for name in &names {
         if name == "fig06" {
             fig06_timing_diagram();

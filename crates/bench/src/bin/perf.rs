@@ -1,0 +1,136 @@
+//! In-tree perf harness: runs a pinned cell set serially and in parallel,
+//! and writes the measurements to `BENCH.json`.
+//!
+//! ```text
+//! cargo run --release -p nssd-bench --bin perf
+//! NSSD_PERF_REQUESTS=2000 NSSD_JOBS=4 cargo run --release -p nssd-bench --bin perf
+//! ```
+//!
+//! The cell set is fixed (architectures × workloads at a pinned seed) so
+//! successive runs measure the same work. For every cell the harness records
+//! wall-clock, the engine's scheduled-event count, and the derived
+//! events/sec; at the end it compares one serial pass (1 worker) against one
+//! parallel pass (`NSSD_JOBS` workers, default: available parallelism) over
+//! the identical cells and records the speedup plus peak RSS. Reports from
+//! the two passes are asserted byte-identical before anything is written —
+//! the perf harness doubles as an equivalence check.
+//!
+//! Knobs: `NSSD_PERF_REQUESTS` (requests per cell, default 4000),
+//! `NSSD_JOBS` (parallel worker count).
+
+use std::io::Write;
+use std::time::Instant;
+
+use nssd_bench::setup;
+use nssd_core::{run_trace, Architecture, SimReport};
+use nssd_sim::Pool;
+use nssd_workloads::PaperWorkload;
+
+fn perf_requests() -> usize {
+    std::env::var("NSSD_PERF_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000)
+}
+
+/// Peak resident set size in kB, from `/proc/self/status` (`VmHWM`).
+/// `None` on platforms without procfs.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The pinned measurement matrix: three architectures × two workloads.
+fn cells() -> Vec<(Architecture, PaperWorkload)> {
+    let arches = [
+        Architecture::BaseSsd,
+        Architecture::PSsd,
+        Architecture::PnSsdSplit,
+    ];
+    let workloads = [PaperWorkload::YcsbA, PaperWorkload::WebSearch0];
+    arches
+        .into_iter()
+        .flat_map(|a| workloads.map(|w| (a, w)))
+        .collect()
+}
+
+fn run_cells(pool: Pool, requests: usize) -> (Vec<SimReport>, f64) {
+    let jobs: Vec<_> = cells()
+        .into_iter()
+        .map(|(arch, workload)| {
+            move || {
+                let cfg = setup::io_config(arch);
+                let trace =
+                    workload.generate(requests, setup::io_footprint(&cfg), setup::EXPERIMENT_SEED);
+                run_trace(cfg, trace).expect("perf cell run")
+            }
+        })
+        .collect();
+    let start = Instant::now();
+    let reports = pool.map(jobs);
+    (reports, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let requests = perf_requests();
+    let parallel_workers = Pool::from_env().workers();
+    eprintln!(
+        ">>> perf harness: {} cells x {requests} requests, serial then {parallel_workers} worker(s)",
+        cells().len()
+    );
+
+    let (serial_reports, serial_wall_ms) = run_cells(Pool::with_workers(1), requests);
+    let (parallel_reports, parallel_wall_ms) = run_cells(Pool::from_env(), requests);
+
+    // The perf harness is also an equivalence witness: the parallel pass must
+    // reproduce the serial pass byte-for-byte.
+    for (i, (s, p)) in serial_reports.iter().zip(&parallel_reports).enumerate() {
+        assert_eq!(
+            nssd_core::golden::canonical_json(s),
+            nssd_core::golden::canonical_json(p),
+            "cell {i}: parallel run diverged from serial"
+        );
+    }
+
+    let speedup = serial_wall_ms / parallel_wall_ms.max(1e-9);
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"nssd-bench-perf/1\",\n");
+    json.push_str(&format!("  \"requests_per_cell\": {requests},\n"));
+    json.push_str(&format!("  \"parallel_workers\": {parallel_workers},\n"));
+    json.push_str("  \"cells\": [\n");
+    let n = serial_reports.len();
+    for (i, ((arch, workload), r)) in cells().into_iter().zip(&serial_reports).enumerate() {
+        let wall_ms = r.engine.wall_clock.as_secs_f64() * 1e3;
+        json.push_str(&format!(
+            "    {{\"architecture\": \"{}\", \"workload\": \"{}\", \"wall_ms\": {:.3}, \
+             \"scheduled_events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            arch.label(),
+            workload.name(),
+            wall_ms,
+            r.engine.scheduled_events,
+            r.engine.events_per_sec(),
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"serial_wall_ms\": {serial_wall_ms:.3},\n"));
+    json.push_str(&format!("  \"parallel_wall_ms\": {parallel_wall_ms:.3},\n"));
+    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    match peak_rss_kb() {
+        Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
+        None => json.push_str("  \"peak_rss_kb\": null\n"),
+    }
+    json.push_str("}\n");
+
+    let path = "BENCH.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH.json");
+    f.write_all(json.as_bytes()).expect("write BENCH.json");
+    eprintln!(
+        ">>> serial {serial_wall_ms:.0} ms, parallel {parallel_wall_ms:.0} ms \
+         ({parallel_workers} workers) -> {speedup:.2}x; wrote {path}"
+    );
+}

@@ -262,18 +262,29 @@ fn no_gc_reports() -> &'static SuiteReports {
         let requests = setup::requests_per_run();
         let cfg0 = setup::io_config(Architecture::BaseSsd);
         let footprint = setup::io_footprint(&cfg0);
-        setup::suite(requests, footprint)
-            .into_iter()
-            .map(|(w, trace)| {
+        // Every (workload × architecture) cell is independent; fan the whole
+        // matrix across the pool and regroup in submission order, so the
+        // rendered tables are byte-identical to a serial run.
+        let suite = setup::suite(requests, footprint);
+        let jobs: Vec<_> = suite
+            .iter()
+            .flat_map(|(_, trace)| {
+                evaluated_architectures().into_iter().map(move |arch| {
+                    move || {
+                        run_trace(setup::io_config(arch), trace).expect("no-GC run must succeed")
+                    }
+                })
+            })
+            .collect();
+        let mut reports = nssd_sim::scoped_map(jobs).into_iter();
+        suite
+            .iter()
+            .map(|(w, _)| {
                 let per_arch = evaluated_architectures()
                     .into_iter()
-                    .map(|arch| {
-                        let report = run_trace(setup::io_config(arch), &trace)
-                            .expect("no-GC run must succeed");
-                        (arch, report)
-                    })
+                    .map(|arch| (arch, reports.next().expect("one report per cell")))
                     .collect();
-                (w, per_arch)
+                (*w, per_arch)
             })
             .collect()
     })
@@ -332,11 +343,21 @@ pub fn fig15_throughput() -> Experiment {
     );
     let mut t = Table::new(headers);
     let mut per_arch_ratios: Vec<Vec<f64>> = vec![Vec::new(); 6];
-    for (w, trace) in setup::suite(requests, footprint) {
+    let suite = setup::suite(requests, footprint);
+    let jobs: Vec<_> = suite
+        .iter()
+        .flat_map(|(_, trace)| {
+            evaluated_architectures().into_iter().map(move |arch| {
+                move || run_closed_loop(setup::io_config(arch), trace, depth).expect("fig15 run")
+            })
+        })
+        .collect();
+    let mut reports = nssd_sim::scoped_map(jobs).into_iter();
+    for (w, _) in &suite {
         let mut row = vec![w.name().to_string()];
         let mut base_kiops = 0.0f64;
-        for (i, arch) in evaluated_architectures().into_iter().enumerate() {
-            let r = run_closed_loop(setup::io_config(arch), &trace, depth).expect("fig15 run");
+        for (i, _) in evaluated_architectures().into_iter().enumerate() {
+            let r = reports.next().expect("one report per cell");
             if i == 0 {
                 base_kiops = r.kiops();
             }
@@ -422,13 +443,23 @@ pub fn fig04_bandwidth_sweep() -> Experiment {
     let cfg0 = setup::io_config(Architecture::BaseSsd);
     let footprint = setup::io_footprint(&cfg0);
     let mut per_width: Vec<Vec<f64>> = vec![Vec::new(); widths.len()];
-    for (w, trace) in setup::suite(requests, footprint) {
+    let suite = setup::suite(requests, footprint);
+    let jobs: Vec<_> = suite
+        .iter()
+        .flat_map(|(_, trace)| {
+            widths.iter().map(move |width| {
+                let mut cfg = setup::io_config(Architecture::BaseSsd);
+                cfg.base_width_bits = *width;
+                move || run_trace(cfg, trace).expect("fig4 run")
+            })
+        })
+        .collect();
+    let mut reports = nssd_sim::scoped_map(jobs).into_iter();
+    for (w, _) in &suite {
         let mut row = vec![w.name().to_string()];
         let mut base_mean = 0u64;
-        for (i, width) in widths.iter().enumerate() {
-            let mut cfg = setup::io_config(Architecture::BaseSsd);
-            cfg.base_width_bits = *width;
-            let r = run_trace(cfg, &trace).expect("fig4 run");
+        for (i, _) in widths.iter().enumerate() {
+            let r = reports.next().expect("one report per cell");
             if i == 0 {
                 base_mean = r.all.mean.as_ns();
             }
@@ -459,19 +490,34 @@ fn synthetic_latency_table(policy: AllocPolicy) -> Table {
     headers.extend(depths.iter().map(|d| format!("qd{d}")));
     let mut t = Table::new(headers);
     let requests = (setup::requests_per_run() / 8).max(512);
+    // Generate each (pattern, architecture) trace once, then fan the full
+    // (pattern × arch × depth) matrix across the pool.
+    let mut rows = Vec::new();
     for pattern in SyntheticPattern::all() {
         for arch in evaluated_architectures() {
             let mut cfg = setup::io_config(arch);
             cfg.alloc_policy = policy;
             let spec = SyntheticSpec::paper(pattern, requests, setup::io_footprint(&cfg));
-            let trace = spec.generate();
-            let mut row = vec![pattern.label().to_string(), arch.label().to_string()];
-            for depth in depths {
-                let r = run_closed_loop(cfg, &trace, depth).expect("synthetic run");
-                row.push(fmt_us(r.all.mean.as_ns()));
-            }
-            t.row(row);
+            rows.push((pattern, arch, cfg, spec.generate()));
         }
+    }
+    let jobs: Vec<_> = rows
+        .iter()
+        .flat_map(|(_, _, cfg, trace)| {
+            depths.into_iter().map(move |depth| {
+                let cfg = *cfg;
+                move || run_closed_loop(cfg, trace, depth).expect("synthetic run")
+            })
+        })
+        .collect();
+    let mut reports = nssd_sim::scoped_map(jobs).into_iter();
+    for (pattern, arch, _, _) in &rows {
+        let mut row = vec![pattern.label().to_string(), arch.label().to_string()];
+        for _ in depths {
+            let r = reports.next().expect("one report per cell");
+            row.push(fmt_us(r.all.mean.as_ns()));
+        }
+        t.row(row);
     }
     t
 }

@@ -25,9 +25,16 @@ pub fn ext_energy() -> Experiment {
     let cfg0 = setup::io_config(Architecture::BaseSsd);
     let trace =
         PaperWorkload::YcsbA.generate(requests, setup::io_footprint(&cfg0), setup::EXPERIMENT_SEED);
+    let jobs: Vec<_> = Architecture::with_strawmen()
+        .into_iter()
+        .map(|arch| {
+            let trace = &trace;
+            move || run_trace(setup::io_config(arch), trace).expect("energy run")
+        })
+        .collect();
+    let reports = nssd_sim::scoped_map(jobs);
     let mut base_pj = 0.0f64;
-    for arch in Architecture::with_strawmen() {
-        let r = run_trace(setup::io_config(arch), &trace).expect("energy run");
+    for (arch, r) in Architecture::with_strawmen().into_iter().zip(&reports) {
         let e = r.energy;
         if arch == Architecture::BaseSsd {
             base_pj = e.pj_per_host_byte();
@@ -65,20 +72,29 @@ pub fn ext_hybrid_ecc() -> Experiment {
         "gc mean event".to_string(),
         "h-channel GC busy".to_string(),
     ]);
-    for ecc in [
+    let modes = [
         EccConfig::ideal(),
         EccConfig::hybrid(),
         EccConfig::controller_strict(),
-    ] {
-        let mut cfg: SsdConfig = setup::gc_config(Architecture::PnSsdSplit, GcPolicy::Spatial);
-        cfg.ecc = ecc;
-        let trace = PaperWorkload::RocksDb0.generate(
-            requests,
-            setup::gc_footprint(&cfg),
-            setup::EXPERIMENT_SEED,
-        );
-        let r = run_trace_preconditioned(cfg, &trace, setup::GC_FILL, setup::GC_OVERWRITE)
-            .expect("ecc run");
+    ];
+    let jobs: Vec<_> = modes
+        .iter()
+        .map(|&ecc| {
+            move || {
+                let mut cfg: SsdConfig =
+                    setup::gc_config(Architecture::PnSsdSplit, GcPolicy::Spatial);
+                cfg.ecc = ecc;
+                let trace = PaperWorkload::RocksDb0.generate(
+                    requests,
+                    setup::gc_footprint(&cfg),
+                    setup::EXPERIMENT_SEED,
+                );
+                run_trace_preconditioned(cfg, trace, setup::GC_FILL, setup::GC_OVERWRITE)
+                    .expect("ecc run")
+            }
+        })
+        .collect();
+    for (ecc, r) in modes.iter().zip(nssd_sim::scoped_map(jobs).iter()) {
         let h_gc_busy: f64 = r.channel_util.gc.iter().flatten().sum();
         t.row(vec![
             ecc.mode.to_string(),
@@ -115,14 +131,21 @@ pub fn ext_channel_sliced() -> Experiment {
         setup::io_footprint(&cfg0),
         setup::EXPERIMENT_SEED,
     );
-    let mut base = 0.0f64;
-    for arch in [
+    let arches = [
         Architecture::BaseSsd,
         Architecture::ChannelSliced,
         Architecture::PnSsdSplit,
         Architecture::PSsd,
-    ] {
-        let r = run_trace(setup::io_config(arch), &trace).expect("sliced run");
+    ];
+    let jobs: Vec<_> = arches
+        .into_iter()
+        .map(|arch| {
+            let trace = &trace;
+            move || run_trace(setup::io_config(arch), trace).expect("sliced run")
+        })
+        .collect();
+    let mut base = 0.0f64;
+    for (arch, r) in arches.into_iter().zip(nssd_sim::scoped_map(jobs).iter()) {
         let mean = r.all.mean.as_ns() as f64;
         if arch == Architecture::BaseSsd {
             base = mean;

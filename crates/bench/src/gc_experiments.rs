@@ -36,12 +36,14 @@ pub fn fig18_gc_synthetic() -> Experiment {
         "vs baseSSD(PaGC)".to_string(),
     ]);
     // Read side: a 70/30 read/write random mix so GC triggers while reads
-    // are measured; write side: pure random writes.
+    // are measured; write side: pure random writes. Every cell generates
+    // its own trace, so the trace moves into the job and then into the
+    // engine by value.
+    let mut cells = Vec::new();
     for (metric, pattern, write_frac_note) in [
         ("read", SyntheticPattern::RandomRead, true),
         ("write", SyntheticPattern::RandomWrite, false),
     ] {
-        let mut base_mean = 0.0f64;
         for arch in gc_architectures() {
             for policy in [GcPolicy::Parallel, GcPolicy::Spatial] {
                 let cfg = setup::gc_config(arch, policy);
@@ -61,30 +63,38 @@ pub fn fig18_gc_synthetic() -> Experiment {
                 } else {
                     SyntheticSpec::paper(pattern, requests, footprint).generate()
                 };
-                let r = run_closed_loop_preconditioned(
-                    cfg,
-                    &trace,
-                    16,
-                    setup::GC_FILL,
-                    setup::GC_OVERWRITE,
-                )
-                .expect("fig18 run");
-                let mean = if metric == "read" {
-                    r.read.mean.as_ns() as f64
-                } else {
-                    r.write.mean.as_ns() as f64
-                };
-                if arch == Architecture::BaseSsd && policy == GcPolicy::Parallel {
-                    base_mean = mean;
-                }
-                t.row(vec![
-                    metric.to_string(),
-                    format!("{} + {}", arch.label(), policy),
-                    fmt_us(mean as u64),
-                    fmt_ratio(base_mean / mean.max(1.0)),
-                ]);
+                cells.push((metric, arch, policy, cfg, trace));
             }
         }
+    }
+    let jobs: Vec<_> = cells
+        .iter_mut()
+        .map(|(_, _, _, cfg, trace)| {
+            let cfg = *cfg;
+            let trace = std::mem::replace(trace, nssd_workloads::Trace::new("taken"));
+            move || {
+                run_closed_loop_preconditioned(cfg, trace, 16, setup::GC_FILL, setup::GC_OVERWRITE)
+                    .expect("fig18 run")
+            }
+        })
+        .collect();
+    let reports = nssd_sim::scoped_map(jobs);
+    let mut base_mean = 0.0f64;
+    for ((metric, arch, policy, _, _), r) in cells.iter().zip(&reports) {
+        let mean = if *metric == "read" {
+            r.read.mean.as_ns() as f64
+        } else {
+            r.write.mean.as_ns() as f64
+        };
+        if *arch == Architecture::BaseSsd && *policy == GcPolicy::Parallel {
+            base_mean = mean;
+        }
+        t.row(vec![
+            metric.to_string(),
+            format!("{} + {}", arch.label(), policy),
+            fmt_us(mean as u64),
+            fmt_ratio(base_mean / mean.max(1.0)),
+        ]);
     }
     Experiment {
         id: "Fig 18",
@@ -104,24 +114,34 @@ fn gc_trace_reports() -> &'static Vec<(GcRunKey, SimReport)> {
     static CACHE: OnceLock<Vec<(GcRunKey, SimReport)>> = OnceLock::new();
     CACHE.get_or_init(|| {
         let requests = setup::gc_requests_per_run();
-        let mut out = Vec::new();
+        // The 72-cell (workload × arch × policy) preconditioned matrix is
+        // the most expensive cache in the harness; every cell is
+        // independent, so fan it across the pool. Traces are generated
+        // inside the jobs and move into the engine by value.
+        let mut keys: Vec<GcRunKey> = Vec::new();
         for workload in PaperWorkload::all() {
             for arch in gc_architectures() {
                 for policy in gc_policies() {
+                    keys.push((workload, arch, policy));
+                }
+            }
+        }
+        let jobs: Vec<_> = keys
+            .iter()
+            .map(|&(workload, arch, policy)| {
+                move || {
                     let cfg = setup::gc_config(arch, policy);
                     let trace = workload.generate(
                         requests,
                         setup::gc_footprint(&cfg),
                         setup::EXPERIMENT_SEED ^ workload.name().len() as u64,
                     );
-                    let report =
-                        run_trace_preconditioned(cfg, &trace, setup::GC_FILL, setup::GC_OVERWRITE)
-                            .expect("fig19 run");
-                    out.push(((workload, arch, policy), report));
+                    run_trace_preconditioned(cfg, trace, setup::GC_FILL, setup::GC_OVERWRITE)
+                        .expect("fig19 run")
                 }
-            }
-        }
-        out
+            })
+            .collect();
+        keys.into_iter().zip(nssd_sim::scoped_map(jobs)).collect()
     })
 }
 

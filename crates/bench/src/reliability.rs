@@ -58,21 +58,29 @@ pub fn fault_sweep() -> Experiment {
         "soft decodes".to_string(),
         "uncorrectable".to_string(),
     ]);
-    for arch in fault_architectures() {
-        for rber in [0.0, 1e-5, 1e-4, 1e-3] {
-            let r = run_trace(faulty_config(arch, rber, 0.0), &trace).expect("rber run");
-            let rel = r.reliability;
-            flash_t.row(vec![
-                arch.label().to_string(),
-                fmt_rate(rber),
-                format!("{:.1}", r.kiops()),
-                fmt_us(r.read.mean.as_ns()),
-                fmt_us(r.read.p99.as_ns()),
-                rel.read_retries.to_string(),
-                rel.soft_decodes.to_string(),
-                rel.uncorrectable_reads.to_string(),
-            ]);
-        }
+    let flash_cells: Vec<_> = fault_architectures()
+        .into_iter()
+        .flat_map(|arch| [0.0, 1e-5, 1e-4, 1e-3].map(|rber| (arch, rber)))
+        .collect();
+    let jobs: Vec<_> = flash_cells
+        .iter()
+        .map(|&(arch, rber)| {
+            let trace = &trace;
+            move || run_trace(faulty_config(arch, rber, 0.0), trace).expect("rber run")
+        })
+        .collect();
+    for (&(arch, rber), r) in flash_cells.iter().zip(nssd_sim::scoped_map(jobs).iter()) {
+        let rel = r.reliability;
+        flash_t.row(vec![
+            arch.label().to_string(),
+            fmt_rate(rber),
+            format!("{:.1}", r.kiops()),
+            fmt_us(r.read.mean.as_ns()),
+            fmt_us(r.read.p99.as_ns()),
+            rel.read_retries.to_string(),
+            rel.soft_decodes.to_string(),
+            rel.uncorrectable_reads.to_string(),
+        ]);
     }
 
     let mut link_t = Table::new(vec![
@@ -84,20 +92,28 @@ pub fn fault_sweep() -> Experiment {
         "silent corruptions".to_string(),
         "link efficiency".to_string(),
     ]);
-    for arch in fault_architectures() {
-        for ber in [1e-8, 1e-7, 1e-6] {
-            let r = run_trace(faulty_config(arch, 0.0, ber), &trace).expect("link run");
-            let rel = r.reliability;
-            link_t.row(vec![
-                arch.label().to_string(),
-                fmt_rate(ber),
-                format!("{:.1}", r.kiops()),
-                rel.retransmissions.to_string(),
-                rel.unrecovered_transfers.to_string(),
-                rel.silent_corruptions.to_string(),
-                format!("{:.4}", rel.link_efficiency()),
-            ]);
-        }
+    let link_cells: Vec<_> = fault_architectures()
+        .into_iter()
+        .flat_map(|arch| [1e-8, 1e-7, 1e-6].map(|ber| (arch, ber)))
+        .collect();
+    let jobs: Vec<_> = link_cells
+        .iter()
+        .map(|&(arch, ber)| {
+            let trace = &trace;
+            move || run_trace(faulty_config(arch, 0.0, ber), trace).expect("link run")
+        })
+        .collect();
+    for (&(arch, ber), r) in link_cells.iter().zip(nssd_sim::scoped_map(jobs).iter()) {
+        let rel = r.reliability;
+        link_t.row(vec![
+            arch.label().to_string(),
+            fmt_rate(ber),
+            format!("{:.1}", r.kiops()),
+            rel.retransmissions.to_string(),
+            rel.unrecovered_transfers.to_string(),
+            rel.silent_corruptions.to_string(),
+            format!("{:.4}", rel.link_efficiency()),
+        ]);
     }
 
     let mut chip_t = Table::new(vec![
@@ -107,14 +123,25 @@ pub fn fault_sweep() -> Experiment {
         "pages lost".to_string(),
         "all mean".to_string(),
     ]);
-    for arch in fault_architectures() {
-        let mut cfg = setup::io_config(arch);
-        cfg.faults.chip_failure = Some(nssd_core::ChipFailureSpec {
-            channel: 1,
-            way: 0,
-            at: SimTime::from_ms(1),
-        });
-        let r = run_trace(cfg, &trace).expect("chip-fail run");
+    let jobs: Vec<_> = fault_architectures()
+        .into_iter()
+        .map(|arch| {
+            let trace = &trace;
+            move || {
+                let mut cfg = setup::io_config(arch);
+                cfg.faults.chip_failure = Some(nssd_core::ChipFailureSpec {
+                    channel: 1,
+                    way: 0,
+                    at: SimTime::from_ms(1),
+                });
+                run_trace(cfg, trace).expect("chip-fail run")
+            }
+        })
+        .collect();
+    for (arch, r) in fault_architectures()
+        .into_iter()
+        .zip(nssd_sim::scoped_map(jobs).iter())
+    {
         chip_t.row(vec![
             arch.label().to_string(),
             r.completed.to_string(),

@@ -11,6 +11,8 @@ mod gcrun;
 mod iopath;
 
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use nssd_faults::{FaultEngine, ReadFault};
 use nssd_flash::{FlashChip, PageAddr, Pbn, Ppn};
@@ -21,8 +23,8 @@ use nssd_sim::DetRng;
 use nssd_sim::{EventQueue, Histogram, Reservation, Resource, SimTime};
 
 use crate::{
-    ChannelUtilSummary, EccMode, EnergySummary, GcSummary, LatencySummary, SimReport, SsdConfig,
-    Traffic,
+    ChannelUtilSummary, EccMode, EnergySummary, EngineSummary, GcSummary, LatencySummary,
+    SimReport, SsdConfig, Traffic,
 };
 
 pub(crate) use fabric::{FabricBackend, FabricCtx, GcEcc};
@@ -75,6 +77,15 @@ struct ReqState {
     pages_done: u32,
 }
 
+/// A write request whose data is in flight to DRAM (or stalled on free
+/// space), keyed by request slot in [`SsdSim::pending_write_spans`].
+#[derive(Debug, Clone, Copy)]
+struct PendingSpan {
+    first_page: u64,
+    pages: u32,
+    retries: u32,
+}
+
 #[derive(Debug)]
 struct TransState {
     req: usize,
@@ -102,10 +113,13 @@ pub enum Drive {
 }
 
 impl Drive {
-    fn requests(&self) -> &[IoRequest] {
+    /// Consumes the drive into its request list and (for closed loop) the
+    /// outstanding-request target — the final hop of the zero-copy path
+    /// from [`crate::runner::TraceInput`] into the engine's arrival list.
+    fn into_parts(self) -> (Vec<IoRequest>, Option<usize>) {
         match self {
-            Drive::OpenLoop(r) => r,
-            Drive::ClosedLoop { requests, .. } => requests,
+            Drive::OpenLoop(r) => (r, None),
+            Drive::ClosedLoop { requests, depth } => (requests, Some(depth.max(1))),
         }
     }
 }
@@ -127,6 +141,11 @@ pub struct SsdSim {
     /// The controller's FTL cores (Fig 2); contended only when
     /// `ftl_page_latency` is nonzero.
     ftl_cores: Vec<Resource>,
+    /// Min-heap of `(free_at, core)` over `ftl_cores`, replacing a per-page
+    /// linear scan. Keys stay exact because [`SsdSim::ftl_compute`] is the
+    /// only mutator of the core timelines; the `(time, index)` ordering
+    /// reproduces the old scan's tie-break bit-for-bit.
+    ftl_core_order: BinaryHeap<Reverse<(SimTime, usize)>>,
     pub(crate) host: HostPipes,
     /// The architecture's data-movement backend; the only per-architecture
     /// dispatch happens once, at construction (see [`fabric::build`]).
@@ -136,10 +155,18 @@ pub struct SsdSim {
     closed_loop_depth: Option<usize>,
     next_issue: usize,
     requests: Vec<ReqState>,
+    /// Completed request slots available for reuse (a slot recycles only
+    /// after its last page completes, so a live id is never aliased).
+    req_free: Vec<usize>,
     trans: Vec<TransState>,
-    /// Write requests whose data is in flight to DRAM (or stalled on free
-    /// space): `(req, first_page, pages, retries)`.
-    pending_write_spans: Vec<(usize, u64, u32, u32)>,
+    /// Completed page-transaction slots available for reuse (`PageDone` is
+    /// always a transaction's final event). Keeps memory bounded on
+    /// multi-million-page runs instead of growing one state per page.
+    trans_free: Vec<usize>,
+    /// In-flight write spans keyed by request slot (at most one per
+    /// request); keyed access only, so the map's iteration order never
+    /// influences the simulation.
+    pending_write_spans: HashMap<usize, PendingSpan>,
     pub(crate) inflight_io: usize,
     // GC.
     pub(crate) gc: GcRuntime,
@@ -165,6 +192,9 @@ pub struct SsdSim {
     host_bytes: u64,
     first_arrival: SimTime,
     last_completion: SimTime,
+    /// Host wall-clock spent inside the event loop (reported, never part of
+    /// the canonical snapshot — see [`crate::golden`]).
+    loop_wall: std::time::Duration,
 }
 
 impl SsdSim {
@@ -216,14 +246,19 @@ impl SsdSim {
             v_channels,
             mesh_links,
             ftl_cores: (0..cfg.ftl_cores).map(|_| Resource::new()).collect(),
+            ftl_core_order: (0..cfg.ftl_cores as usize)
+                .map(|i| Reverse((SimTime::ZERO, i)))
+                .collect(),
             host: HostPipes::new(cfg.host_params()),
             fabric,
             arrivals: Vec::new(),
             closed_loop_depth: None,
             next_issue: 0,
             requests: Vec::new(),
+            req_free: Vec::new(),
             trans: Vec::new(),
-            pending_write_spans: Vec::new(),
+            trans_free: Vec::new(),
+            pending_write_spans: HashMap::new(),
             inflight_io: 0,
             gc: GcRuntime::new(cfg.gc.policy),
             rng: DetRng::seed_from_u64(cfg.seed),
@@ -239,6 +274,7 @@ impl SsdSim {
             host_bytes: 0,
             first_arrival: SimTime::MAX,
             last_completion: SimTime::ZERO,
+            loop_wall: std::time::Duration::ZERO,
             cfg,
         };
         Ok(sim)
@@ -321,14 +357,39 @@ impl SsdSim {
         if dur.is_zero() {
             return now;
         }
-        let core = self
-            .ftl_cores
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, c)| (c.next_free(), *i))
-            .map(|(i, _)| i)
-            .expect("at least one FTL core");
-        self.ftl_cores[core].reserve(now, dur).end
+        let Reverse((_, core)) = self.ftl_core_order.pop().expect("at least one FTL core");
+        let end = self.ftl_cores[core].reserve(now, dur).end;
+        self.ftl_core_order.push(Reverse((end, core)));
+        end
+    }
+
+    /// Allocates a request slot, reusing a completed one when available.
+    fn alloc_req(&mut self, st: ReqState) -> usize {
+        match self.req_free.pop() {
+            Some(i) => {
+                self.requests[i] = st;
+                i
+            }
+            None => {
+                self.requests.push(st);
+                self.requests.len() - 1
+            }
+        }
+    }
+
+    /// Allocates a page-transaction slot, reusing a completed one when
+    /// available.
+    fn alloc_trans(&mut self, st: TransState) -> usize {
+        match self.trans_free.pop() {
+            Some(t) => {
+                self.trans[t] = st;
+                t
+            }
+            None => {
+                self.trans.push(st);
+                self.trans.len() - 1
+            }
+        }
     }
 
     /// Controller ECC decode added to every host read (§VIII); zero in the
@@ -361,12 +422,10 @@ impl SsdSim {
 
     /// Runs the workload to completion and returns the report.
     pub fn run(mut self, drive: Drive) -> SimReport {
-        let depth = match &drive {
-            Drive::ClosedLoop { depth, .. } => Some((*depth).max(1)),
-            Drive::OpenLoop(_) => None,
-        };
+        let wall_start = std::time::Instant::now();
+        let (arrivals, depth) = drive.into_parts();
         self.closed_loop_depth = depth;
-        self.arrivals = drive.requests().to_vec();
+        self.arrivals = arrivals;
         self.oracle_sync();
 
         if let Some(spec) = self.cfg.faults.chip_failure {
@@ -394,6 +453,7 @@ impl SsdSim {
             self.now = t;
             self.handle(ev);
         }
+        self.loop_wall = wall_start.elapsed();
         self.report()
     }
 
@@ -492,8 +552,7 @@ impl SsdSim {
         self.first_arrival = self.first_arrival.min(at);
         self.host_bytes += r.len as u64;
         let (first_page, pages) = r.page_span(self.page_bytes());
-        let req_id = self.requests.len();
-        self.requests.push(ReqState {
+        let req_id = self.alloc_req(ReqState {
             op: r.op,
             submitted: at,
             pages_total: pages,
@@ -513,8 +572,14 @@ impl SsdSim {
                     .host
                     .inbound(at, r.len as u64, Traffic::HostWrite.tag());
                 self.queue.schedule(landed.end, Event::IssuePages(req_id));
-                self.pending_write_spans
-                    .push((req_id, first_page, pages, 0));
+                self.pending_write_spans.insert(
+                    req_id,
+                    PendingSpan {
+                        first_page,
+                        pages,
+                        retries: 0,
+                    },
+                );
             }
         }
     }
@@ -522,12 +587,14 @@ impl SsdSim {
     fn on_issue_pages(&mut self, req: usize) {
         const RETRY_DELAY: SimTime = SimTime::from_us(50);
         const MAX_RETRIES: u32 = 100_000;
-        let idx = self
+        let PendingSpan {
+            first_page,
+            pages,
+            retries,
+        } = self
             .pending_write_spans
-            .iter()
-            .position(|&(r, _, _, _)| r == req)
+            .remove(&req)
             .expect("write span recorded at arrival");
-        let (_, first_page, pages, retries) = self.pending_write_spans.swap_remove(idx);
         for p in 0..pages {
             let lpn = Lpn::new(first_page + p as u64);
             let ppn = match self.try_allocate(lpn) {
@@ -544,12 +611,14 @@ impl SsdSim {
                         RETRY_DELAY * MAX_RETRIES as u64,
                         self.now
                     );
-                    self.pending_write_spans.push((
+                    self.pending_write_spans.insert(
                         req,
-                        first_page + p as u64,
-                        pages - p,
-                        retries + 1,
-                    ));
+                        PendingSpan {
+                            first_page: first_page + p as u64,
+                            pages: pages - p,
+                            retries: retries + 1,
+                        },
+                    );
                     self.queue
                         .schedule_after(self.now, RETRY_DELAY, Event::IssuePages(req));
                     self.maybe_start_gc();
@@ -564,8 +633,7 @@ impl SsdSim {
                 oracle.note_host_write(lpn, ppn, self.now);
             }
             let addr = self.cfg.geometry.page_addr(ppn);
-            let t = self.trans.len();
-            self.trans.push(TransState {
+            let t = self.alloc_trans(TransState {
                 req,
                 addr,
                 is_read: false,
@@ -628,8 +696,7 @@ impl SsdSim {
             match mapped {
                 Some(ppn) => {
                     let addr = self.cfg.geometry.page_addr(ppn);
-                    let t = self.trans.len();
-                    self.trans.push(TransState {
+                    let t = self.alloc_trans(TransState {
                         req,
                         addr,
                         is_read: true,
@@ -648,8 +715,7 @@ impl SsdSim {
                         self.page_bytes() as u64,
                         Traffic::HostRead.tag(),
                     );
-                    let t = self.trans.len();
-                    self.trans.push(TransState {
+                    let t = self.alloc_trans(TransState {
                         req,
                         addr: PageAddr {
                             channel: 0,
@@ -671,6 +737,9 @@ impl SsdSim {
 
     fn on_page_done(&mut self, t: usize) {
         let req_id = self.trans[t].req;
+        // `PageDone` is a transaction's final event; the slot is free for
+        // the next page the moment it fires.
+        self.trans_free.push(t);
         let req = &mut self.requests[req_id];
         req.pages_done += 1;
         if req.pages_done == req.pages_total {
@@ -683,6 +752,9 @@ impl SsdSim {
             self.completed += 1;
             self.last_completion = self.last_completion.max(self.now);
             self.inflight_io -= 1;
+            // Every page transaction has completed (this was the last one),
+            // so nothing references the request slot any more.
+            self.req_free.push(req_id);
             // Closed loop: replace the finished request.
             if self.closed_loop_depth.is_some() && self.next_issue < self.arrivals.len() {
                 let i = self.next_issue;
@@ -704,7 +776,13 @@ impl SsdSim {
             }
             None => Default::default(),
         };
-        let windows = (self.last_completion.as_ns() / self.cfg.util_window.as_ns() + 1) as usize;
+        // A run that completed nothing has no utilization to window; the
+        // `+ 1` formula would still allocate one window per channel.
+        let windows = if self.completed == 0 {
+            0
+        } else {
+            (self.last_completion.as_ns() / self.cfg.util_window.as_ns() + 1) as usize
+        };
         let per_channel = |tag: usize| -> Vec<Vec<f64>> {
             self.h_channels
                 .iter()
@@ -803,6 +881,10 @@ impl SsdSim {
             energy,
             reliability: self.faults.stats(),
             oracle: oracle_summary,
+            engine: EngineSummary {
+                scheduled_events: self.queue.scheduled_total(),
+                wall_clock: self.loop_wall,
+            },
         }
     }
 }
@@ -826,4 +908,77 @@ pub(crate) fn reserve_with_link_faults(
         r = res.reserve_tagged(r.end + link.nak + link.backoff, dur, tag);
     }
     r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The heap-based FTL-core pick must reproduce the old linear scan
+    /// (`min_by_key` over `(next_free, index)`) choice-for-choice: a mirror
+    /// set of resources is driven by the reference scan, and both the
+    /// returned completion times and the final per-core timelines must
+    /// agree at every step.
+    #[test]
+    fn heap_core_pick_matches_linear_scan() {
+        let mut cfg = SsdConfig::tiny(crate::Architecture::BaseSsd);
+        cfg.ftl_cores = 3;
+        cfg.ftl_page_latency = SimTime::from_ns(250);
+        let dur = cfg.ftl_page_latency;
+        let mut sim = SsdSim::new(cfg).unwrap();
+        let mut mirror: Vec<Resource> = (0..3).map(|_| Resource::new()).collect();
+        let mut now = SimTime::ZERO;
+        for step in 0..500u64 {
+            let got = sim.ftl_compute(now);
+            let core = mirror
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, c)| (c.next_free(), *i))
+                .map(|(i, _)| i)
+                .unwrap();
+            let want = mirror[core].reserve(now, dur).end;
+            assert_eq!(got, want, "completion time diverged at step {step}");
+            for (i, m) in mirror.iter().enumerate() {
+                assert_eq!(
+                    sim.ftl_cores[i].next_free(),
+                    m.next_free(),
+                    "core {i} timeline diverged at step {step}"
+                );
+            }
+            // Irregular arrival gaps (including bursts of simultaneous
+            // requests) so ties between cores actually occur.
+            now += SimTime::from_ns((step % 7) * 67);
+        }
+    }
+
+    /// Recycled slots keep `requests`/`trans` bounded by the in-flight
+    /// population rather than the run length: a serial closed-loop run of
+    /// 64 one-page writes must never grow either table past a handful of
+    /// slots. Drives the event loop by hand so the tables remain
+    /// observable at every step ([`SsdSim::run`] consumes the simulator).
+    #[test]
+    fn slot_pools_stay_bounded_across_a_run() {
+        let mut cfg = SsdConfig::tiny(crate::Architecture::BaseSsd);
+        cfg.gc.policy = nssd_ftl::GcPolicy::None;
+        cfg.seed = 42;
+        let page = cfg.geometry.page_bytes;
+        let mut sim = SsdSim::new(cfg).unwrap();
+        sim.closed_loop_depth = Some(1);
+        sim.arrivals = (0..64u64)
+            .map(|i| IoRequest::new(IoOp::Write, (i % 8) * page as u64, page, SimTime::ZERO))
+            .collect();
+        sim.oracle_sync();
+        sim.queue.schedule(SimTime::ZERO, Event::Arrive(0));
+        sim.next_issue = 1;
+        let (mut max_reqs, mut max_trans) = (0, 0);
+        while let Some((t, ev)) = sim.queue.pop() {
+            sim.now = t;
+            sim.handle(ev);
+            max_reqs = max_reqs.max(sim.requests.len());
+            max_trans = max_trans.max(sim.trans.len());
+        }
+        assert_eq!(sim.completed, 64);
+        assert!(max_reqs <= 2, "request slots grew to {max_reqs}");
+        assert!(max_trans <= 4, "trans slots grew to {max_trans}");
+    }
 }

@@ -92,15 +92,17 @@ impl GoldenCase {
     /// Propagates configuration/run errors from the runner.
     pub fn run(&self) -> Result<SimReport, String> {
         let cfg = self.config();
+        // The trace is generated per run, so it moves into the engine
+        // by value — the zero-copy `TraceInput` path.
         let trace = self
             .workload
             .generate(self.requests, cfg.logical_bytes() / 2, self.seed);
         if self.gc_policy == GcPolicy::None {
-            run_trace(cfg, &trace)
+            run_trace(cfg, trace)
         } else {
             // GC cases start from a preconditioned (aged) device so the
             // policies actually fire within the pinned request budget.
-            run_trace_preconditioned(cfg, &trace, 0.85, 0.3)
+            run_trace_preconditioned(cfg, trace, 0.85, 0.3)
         }
     }
 }
@@ -211,6 +213,12 @@ fn util(u: &ChannelUtilSummary) -> String {
 
 /// Serializes a [`SimReport`] to canonical JSON (fixed key order, stable
 /// number formatting) — the golden-snapshot representation.
+///
+/// The report's `engine` block is deliberately *not* serialized: its
+/// wall-clock is host time (different every run), and even the
+/// deterministic event count would force a re-bless of every committed
+/// snapshot on any engine bookkeeping change. Golden snapshots pin
+/// simulated behaviour, not execution metrics.
 // Newlines are canonical bytes of the snapshot format, spelled out where the
 // text is produced rather than hidden inside writeln!.
 #[allow(clippy::write_with_newline)]

@@ -37,9 +37,12 @@ pub use nssd_faults::{
     BadBlockConfig, BitErrorConfig, ChipFailureSpec, FaultConfig, LinkFaultConfig, ReliabilityStats,
 };
 pub use nssd_oracle::{Oracle, OracleSummary};
-pub use report::{ChannelUtilSummary, EnergySummary, GcSummary, LatencySummary, SimReport};
+pub use report::{
+    ChannelUtilSummary, EnergySummary, EngineSummary, GcSummary, LatencySummary, SimReport,
+};
 pub use runner::{
     run_closed_loop, run_closed_loop_preconditioned, run_trace, run_trace_preconditioned,
+    TraceInput,
 };
 
 #[cfg(test)]
@@ -73,6 +76,30 @@ mod tests {
             assert!(report.all.mean > SimTime::ZERO, "{arch}");
             assert!(report.last_completion > SimTime::ZERO, "{arch}");
         }
+    }
+
+    #[test]
+    fn zero_request_run_reports_empty_windows() {
+        // A run that completes nothing must not allocate utilization
+        // windows (the old `+ 1` formula produced one per channel) and
+        // must report zeroed engine-facing statistics.
+        let cfg = io_cfg(Architecture::BaseSsd);
+        let report = run_trace(cfg, Trace::new("empty")).unwrap();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.first_arrival, SimTime::ZERO);
+        assert_eq!(report.last_completion, SimTime::ZERO);
+        assert_eq!(report.all.count, 0);
+        for per_channel in [
+            &report.channel_util.read,
+            &report.channel_util.write,
+            &report.channel_util.gc,
+        ] {
+            assert!(
+                per_channel.iter().all(|w| w.is_empty()),
+                "no completions must mean no utilization windows"
+            );
+        }
+        assert_eq!(report.kiops(), 0.0);
     }
 
     #[test]

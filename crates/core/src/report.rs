@@ -142,6 +142,52 @@ impl EnergySummary {
     }
 }
 
+/// Engine execution metrics: how much discrete-event work the run did and
+/// how long the host took to do it.
+///
+/// `wall_clock` is host time, different on every run and every machine; it
+/// is deliberately excluded from both equality (so determinism checks like
+/// `a == b` hold) and the canonical golden JSON (see `crate::golden`). Only
+/// `scheduled_events` — a deterministic count — participates in comparisons.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineSummary {
+    /// Total events scheduled over the run's lifetime.
+    pub scheduled_events: u64,
+    /// Host wall-clock spent inside the event loop.
+    pub wall_clock: std::time::Duration,
+}
+
+impl EngineSummary {
+    /// Simulated events processed per host second (0 when the run was too
+    /// fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall_clock.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.scheduled_events as f64 / secs
+        }
+    }
+}
+
+impl PartialEq for EngineSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.scheduled_events == other.scheduled_events
+    }
+}
+
+impl fmt::Display for EngineSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events in {:.1} ms ({:.0} events/s)",
+            self.scheduled_events,
+            self.wall_clock.as_secs_f64() * 1e3,
+            self.events_per_sec()
+        )
+    }
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -180,6 +226,9 @@ pub struct SimReport {
     /// Shadow-oracle observations (default / `enabled: false` when the
     /// oracle was off).
     pub oracle: OracleSummary,
+    /// Engine execution metrics (event count is deterministic; wall-clock
+    /// is not and is excluded from equality and golden snapshots).
+    pub engine: EngineSummary,
 }
 
 impl SimReport {
@@ -271,7 +320,30 @@ mod tests {
             },
             reliability: ReliabilityStats::default(),
             oracle: OracleSummary::default(),
+            engine: EngineSummary::default(),
         }
+    }
+
+    #[test]
+    fn engine_summary_equality_ignores_wall_clock() {
+        let a = EngineSummary {
+            scheduled_events: 100,
+            wall_clock: std::time::Duration::from_millis(5),
+        };
+        let b = EngineSummary {
+            scheduled_events: 100,
+            wall_clock: std::time::Duration::from_millis(900),
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            EngineSummary {
+                scheduled_events: 101,
+                ..a
+            }
+        );
+        assert!((a.events_per_sec() - 20_000.0).abs() < 1e-9);
+        assert_eq!(EngineSummary::default().events_per_sec(), 0.0);
     }
 
     #[test]

@@ -1,24 +1,74 @@
 //! High-level experiment runners.
+//!
+//! Every runner accepts anything implementing [`TraceInput`]: pass `&Trace`
+//! when the same trace feeds many experiment cells (the records are copied
+//! once into the engine), or pass an owned [`Trace`] / `Vec<IoRequest>` for
+//! per-run generated traces, in which case the request list moves into the
+//! engine's [`Drive`] without a single copy.
 
 use nssd_ftl::FtlError;
+use nssd_host::IoRequest;
 use nssd_workloads::Trace;
 
 use crate::{Drive, SimReport, SsdConfig, SsdSim};
 
-/// Runs `trace` open-loop (arrivals at trace timestamps) with the device
+/// A source of the request list driving a run.
+///
+/// The engine's [`Drive`] owns its `Vec<IoRequest>` end-to-end; this trait
+/// decides whether getting there costs a copy (`&Trace`) or not (owned
+/// [`Trace`], `Vec<IoRequest>`).
+pub trait TraceInput {
+    /// Highest byte address touched plus one (the footprint bound used for
+    /// preconditioning checks).
+    fn footprint_bytes(&self) -> u64;
+    /// Consumes the input into the arrival-ordered request list.
+    fn into_records(self) -> Vec<IoRequest>;
+}
+
+impl TraceInput for Trace {
+    fn footprint_bytes(&self) -> u64 {
+        Trace::footprint_bytes(self)
+    }
+    fn into_records(self) -> Vec<IoRequest> {
+        Trace::into_records(self)
+    }
+}
+
+impl TraceInput for &Trace {
+    fn footprint_bytes(&self) -> u64 {
+        Trace::footprint_bytes(self)
+    }
+    fn into_records(self) -> Vec<IoRequest> {
+        self.records().to_vec()
+    }
+}
+
+impl TraceInput for Vec<IoRequest> {
+    fn footprint_bytes(&self) -> u64 {
+        self.iter()
+            .map(|r| r.offset + r.len as u64)
+            .max()
+            .unwrap_or(0)
+    }
+    fn into_records(self) -> Vec<IoRequest> {
+        self
+    }
+}
+
+/// Runs a trace open-loop (arrivals at trace timestamps) with the device
 /// preconditioned just enough that every read hits a mapped page, without
 /// fragmenting blocks (the no-GC experiments, Figs 14/15).
 ///
 /// # Errors
 ///
 /// Returns a message for invalid configurations or infeasible traces.
-pub fn run_trace(cfg: SsdConfig, trace: &Trace) -> Result<SimReport, String> {
+pub fn run_trace(cfg: SsdConfig, trace: impl TraceInput) -> Result<SimReport, String> {
     let mut sim = SsdSim::new(cfg)?;
-    precondition_footprint(&mut sim, trace)?;
-    Ok(sim.run(Drive::OpenLoop(trace.records().to_vec())))
+    precondition_footprint(&mut sim, trace.footprint_bytes())?;
+    Ok(sim.run(Drive::OpenLoop(trace.into_records())))
 }
 
-/// Runs `trace` open-loop on a device preconditioned to `fill` of its
+/// Runs a trace open-loop on a device preconditioned to `fill` of its
 /// logical space with `overwrite × logical` random overwrites, so garbage
 /// collection triggers naturally during the run (Figs 18–20).
 ///
@@ -27,24 +77,17 @@ pub fn run_trace(cfg: SsdConfig, trace: &Trace) -> Result<SimReport, String> {
 /// Returns a message for invalid configurations or infeasible traces.
 pub fn run_trace_preconditioned(
     cfg: SsdConfig,
-    trace: &Trace,
+    trace: impl TraceInput,
     fill: f64,
     overwrite: f64,
 ) -> Result<SimReport, String> {
     let mut sim = SsdSim::new(cfg)?;
-    check_footprint(&sim, trace, fill)?;
-    let mut rng = sim.rng_mut().clone();
-    let max_lpn = (sim.ftl().logical_pages() as f64 * fill) as u64;
-    sim.ftl_mut()
-        .precondition(fill, overwrite, &mut rng)
-        .map_err(|e: FtlError| e.to_string())?;
-    sim.ftl_mut()
-        .pressurize(max_lpn.max(1), &mut rng)
-        .map_err(|e: FtlError| e.to_string())?;
-    Ok(sim.run(Drive::OpenLoop(trace.records().to_vec())))
+    check_footprint(&sim, trace.footprint_bytes(), fill)?;
+    precondition_aged(&mut sim, fill, overwrite)?;
+    Ok(sim.run(Drive::OpenLoop(trace.into_records())))
 }
 
-/// Runs `requests` closed-loop with `depth` outstanding (the synthetic
+/// Runs requests closed-loop with `depth` outstanding (the synthetic
 /// studies, Figs 16/17, where the x-axis is the number of concurrent I/Os).
 ///
 /// # Errors
@@ -52,13 +95,13 @@ pub fn run_trace_preconditioned(
 /// Returns a message for invalid configurations or infeasible traces.
 pub fn run_closed_loop(
     cfg: SsdConfig,
-    requests: &Trace,
+    requests: impl TraceInput,
     depth: usize,
 ) -> Result<SimReport, String> {
     let mut sim = SsdSim::new(cfg)?;
-    precondition_footprint(&mut sim, requests)?;
+    precondition_footprint(&mut sim, requests.footprint_bytes())?;
     Ok(sim.run(Drive::ClosedLoop {
-        requests: requests.records().to_vec(),
+        requests: requests.into_records(),
         depth,
     }))
 }
@@ -70,13 +113,23 @@ pub fn run_closed_loop(
 /// Returns a message for invalid configurations or infeasible traces.
 pub fn run_closed_loop_preconditioned(
     cfg: SsdConfig,
-    requests: &Trace,
+    requests: impl TraceInput,
     depth: usize,
     fill: f64,
     overwrite: f64,
 ) -> Result<SimReport, String> {
     let mut sim = SsdSim::new(cfg)?;
-    check_footprint(&sim, requests, fill)?;
+    check_footprint(&sim, requests.footprint_bytes(), fill)?;
+    precondition_aged(&mut sim, fill, overwrite)?;
+    Ok(sim.run(Drive::ClosedLoop {
+        requests: requests.into_records(),
+        depth,
+    }))
+}
+
+/// Ages the device: `fill` of the logical space written, `overwrite ×
+/// logical` random overwrites, then pressurized so GC has work immediately.
+fn precondition_aged(sim: &mut SsdSim, fill: f64, overwrite: f64) -> Result<(), String> {
     let mut rng = sim.rng_mut().clone();
     let max_lpn = (sim.ftl().logical_pages() as f64 * fill) as u64;
     sim.ftl_mut()
@@ -84,19 +137,15 @@ pub fn run_closed_loop_preconditioned(
         .map_err(|e: FtlError| e.to_string())?;
     sim.ftl_mut()
         .pressurize(max_lpn.max(1), &mut rng)
-        .map_err(|e: FtlError| e.to_string())?;
-    Ok(sim.run(Drive::ClosedLoop {
-        requests: requests.records().to_vec(),
-        depth,
-    }))
+        .map_err(|e: FtlError| e.to_string())
 }
 
 /// Sequentially maps every page the trace's footprint covers, so reads hit
 /// flash rather than the unmapped-page fast path.
-fn precondition_footprint(sim: &mut SsdSim, trace: &Trace) -> Result<(), String> {
+fn precondition_footprint(sim: &mut SsdSim, footprint_bytes: u64) -> Result<(), String> {
     let page = sim.config().geometry.page_bytes as u64;
     let logical = sim.ftl().logical_pages();
-    let footprint_pages = trace.footprint_bytes().div_ceil(page);
+    let footprint_pages = footprint_bytes.div_ceil(page);
     if footprint_pages > logical {
         return Err(format!(
             "trace footprint ({footprint_pages} pages) exceeds logical capacity ({logical})"
@@ -111,10 +160,10 @@ fn precondition_footprint(sim: &mut SsdSim, trace: &Trace) -> Result<(), String>
         .map_err(|e| e.to_string())
 }
 
-fn check_footprint(sim: &SsdSim, trace: &Trace, fill: f64) -> Result<(), String> {
+fn check_footprint(sim: &SsdSim, footprint_bytes: u64, fill: f64) -> Result<(), String> {
     let page = sim.config().geometry.page_bytes as u64;
     let logical = sim.ftl().logical_pages();
-    let footprint_pages = trace.footprint_bytes().div_ceil(page);
+    let footprint_pages = footprint_bytes.div_ceil(page);
     let filled = (logical as f64 * fill) as u64;
     if footprint_pages > filled {
         return Err(format!(

@@ -11,6 +11,9 @@
 //! * [`Histogram`] / [`RunningStats`] — latency and scalar statistics.
 //! * [`UtilizationRecorder`] — windowed, per-traffic-class busy tracking used
 //!   for the paper's channel-imbalance analysis (Fig 3).
+//! * [`Pool`] — a scoped-thread job pool that fans independent simulation
+//!   cells across cores and returns results in submission order, so parallel
+//!   experiment matrices render byte-identically to serial runs.
 //!
 //! # Example: a two-stage pipeline
 //!
@@ -50,6 +53,7 @@
 
 mod check;
 mod event;
+mod pool;
 mod resource;
 mod rng;
 mod stats;
@@ -58,6 +62,7 @@ mod util;
 
 pub use check::{Violation, ViolationLog};
 pub use event::EventQueue;
+pub use pool::{jobs_from_env, scoped_map, Pool};
 pub use resource::{BandwidthPipe, Reservation, Resource};
 pub use rng::{DetRng, Rng, SampleRange};
 pub use stats::{Histogram, RunningStats};

@@ -69,6 +69,13 @@ impl Trace {
         &self.records
     }
 
+    /// Consumes the trace into its arrival-ordered record list without
+    /// copying — the zero-clone path into [`nssd_sim`]-driven engines for
+    /// traces generated per run.
+    pub fn into_records(self) -> Vec<IoRequest> {
+        self.records
+    }
+
     /// Iterates over the records.
     pub fn iter(&self) -> std::slice::Iter<'_, IoRequest> {
         self.records.iter()
@@ -285,6 +292,13 @@ mod tests {
         assert_eq!(t.total_bytes(), 65536);
         assert_eq!(t.duration(), SimTime::from_us(9));
         assert_eq!(t.footprint_bytes(), 49152);
+    }
+
+    #[test]
+    fn into_records_preserves_order_and_content() {
+        let t = sample();
+        let copied = t.records().to_vec();
+        assert_eq!(t.into_records(), copied);
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() -> Result<(), String> {
                 4_000,
                 cfg.logical_bytes() / 2,
             );
-            let report = run_closed_loop(cfg, &spec.generate(), 16)?;
+            let report = run_closed_loop(cfg, spec.generate(), 16)?;
             row += &format!(" {:>14}", report.all.mean.to_string());
         }
         println!("{row}");

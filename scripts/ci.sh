@@ -22,6 +22,14 @@ echo "==> golden snapshot gate"
 cargo test --release -q --test golden_report
 git diff --exit-code -- tests/golden
 
+echo "==> perf harness smoke"
+# A tiny pinned run of the perf harness: proves the bin works end-to-end,
+# that parallel output is byte-identical to serial (the bin asserts it),
+# and that BENCH.json comes out well-formed.
+NSSD_PERF_REQUESTS=300 NSSD_JOBS=2 cargo run --release -q -p nssd-bench --bin perf
+python3 -c "import json; d=json.load(open('BENCH.json')); assert d['schema']=='nssd-bench-perf/1' and d['cells'] and d['speedup']>0, d" \
+  || { echo "BENCH.json malformed"; exit 1; }
+
 echo "==> oracle mutation self-test"
 # Plants a corrupted mapping entry and a dropped GC copy; the shadow oracle
 # must flag both, or the invariant layer has gone blind.

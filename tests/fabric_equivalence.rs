@@ -28,14 +28,22 @@ fn fabric_backends_reproduce_pre_refactor_snapshots() {
     // `golden_report`, restated here as the refactor's acceptance test so a
     // future re-bless of the snapshots cannot silently absorb a fabric
     // regression without touching this file's intent.
-    for case in matrix() {
-        let name = case.file_name();
+    let cases = matrix();
+    let jobs: Vec<_> = cases
+        .iter()
+        .map(|case| {
+            move || {
+                let name = case.file_name();
+                let report = case.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+                (name, canonical_json(&report))
+            }
+        })
+        .collect();
+    for (name, rendered) in networked_ssd::sim::scoped_map(jobs) {
         let expected = fs::read_to_string(golden_dir().join(&name))
             .unwrap_or_else(|e| panic!("{name}: committed snapshot unreadable: {e}"));
-        let report = case.run().unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(
-            canonical_json(&report),
-            expected,
+            rendered, expected,
             "{name}: fabric backend diverged from the pre-refactor snapshot"
         );
     }
@@ -58,14 +66,22 @@ fn every_architecture_is_deterministic_on_a_mixed_workload() {
     // Covers ChannelSliced and the pin-constrained mesh too, which the
     // golden matrix omits: each backend must be a pure function of
     // (config, trace).
-    for arch in Architecture::with_strawmen() {
-        let run = || {
-            let mut cfg = SsdConfig::tiny(arch);
-            cfg.gc.policy = GcPolicy::None;
-            let trace = mixed_trace(&cfg, 150, 21);
-            run_trace(cfg, &trace).expect("run succeeds")
-        };
-        let (a, b) = (run(), run());
+    let arches = Architecture::with_strawmen();
+    let jobs: Vec<_> = arches
+        .iter()
+        .map(|&arch| {
+            move || {
+                let run = || {
+                    let mut cfg = SsdConfig::tiny(arch);
+                    cfg.gc.policy = GcPolicy::None;
+                    let trace = mixed_trace(&cfg, 150, 21);
+                    run_trace(cfg, trace).expect("run succeeds")
+                };
+                (run(), run())
+            }
+        })
+        .collect();
+    for (arch, (a, b)) in arches.iter().zip(networked_ssd::sim::scoped_map(jobs)) {
         assert_eq!(a.completed, 150, "{arch}");
         assert_eq!(
             canonical_json(&a),

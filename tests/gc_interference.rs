@@ -91,8 +91,8 @@ fn preemptive_gc_interferes_less_than_parallel_on_base_ssd() {
         |cfg: &SsdConfig| PaperWorkload::DevTools0.generate(400, cfg.logical_bytes() / 2, 12);
     let pagc_cfg = gc_cfg(Architecture::BaseSsd, GcPolicy::Parallel);
     let pre_cfg = gc_cfg(Architecture::BaseSsd, GcPolicy::Preemptive);
-    let pagc = run_trace_preconditioned(pagc_cfg, &trace_for(&pagc_cfg), 0.85, 0.3).unwrap();
-    let pre = run_trace_preconditioned(pre_cfg, &trace_for(&pre_cfg), 0.85, 0.3).unwrap();
+    let pagc = run_trace_preconditioned(pagc_cfg, trace_for(&pagc_cfg), 0.85, 0.3).unwrap();
+    let pre = run_trace_preconditioned(pre_cfg, trace_for(&pre_cfg), 0.85, 0.3).unwrap();
     assert!(pagc.gc.events > 0 && pre.gc.events > 0);
     assert!(
         pre.all.mean <= pagc.all.mean,

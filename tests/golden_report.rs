@@ -25,10 +25,23 @@ fn golden_matrix_matches_committed_snapshots() {
     }
     let cases = matrix();
     assert!(cases.len() >= 16, "matrix shrank to {}", cases.len());
+    // Every case is an independent simulation — fan them across the pool
+    // (`NSSD_JOBS`); results come back in submission order, so the assertion
+    // order (and any failure message) is identical to the serial loop.
+    let jobs: Vec<_> = cases
+        .iter()
+        .map(|case| {
+            move || {
+                let name = case.file_name();
+                (
+                    name.clone(),
+                    case.run().unwrap_or_else(|e| panic!("{name}: {e}")),
+                )
+            }
+        })
+        .collect();
     let mut drifted = Vec::new();
-    for case in cases {
-        let name = case.file_name();
-        let report = case.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    for (name, report) in networked_ssd::sim::scoped_map(jobs) {
         // Every golden run is also an oracle run: the snapshot gate and the
         // invariant gate share the same executions.
         assert!(report.oracle.enabled, "{name}: oracle not enabled");

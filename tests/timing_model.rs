@@ -18,7 +18,7 @@ fn one_request(op: IoOp, len: u32) -> Trace {
 fn run_one(arch: Architecture, op: IoOp, len: u32) -> u64 {
     let mut cfg = SsdConfig::tiny(arch);
     cfg.gc.policy = GcPolicy::None;
-    let report = run_trace(cfg, &one_request(op, len)).expect("run");
+    let report = run_trace(cfg, one_request(op, len)).expect("run");
     assert_eq!(report.completed, 1);
     report.all.mean.as_ns()
 }
