@@ -15,6 +15,11 @@
 //! the two passes are asserted byte-identical before anything is written —
 //! the perf harness doubles as an equivalence check.
 //!
+//! On a 1-CPU host (or with `NSSD_JOBS=1`) the serial-vs-parallel comparison
+//! is meaningless; both passes still run for the equivalence assert, but
+//! `"speedup"` is written as `null` and `"speedup_comparable"` as `false`
+//! (`"detected_cpus"` records what the harness saw).
+//!
 //! Knobs: `NSSD_PERF_REQUESTS` (requests per cell, default 4000),
 //! `NSSD_JOBS` (parallel worker count).
 
@@ -78,8 +83,16 @@ fn run_cells(pool: Pool, requests: usize) -> (Vec<SimReport>, f64) {
 fn main() {
     let requests = perf_requests();
     let parallel_workers = Pool::from_env().workers();
+    let detected_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // A serial-vs-parallel comparison on a 1-CPU host (or with NSSD_JOBS=1)
+    // measures scheduling noise, not speedup — run both passes anyway (the
+    // equivalence assert still matters) but don't report a speedup figure.
+    let speedup_comparable = parallel_workers >= 2 && detected_cpus >= 2;
     eprintln!(
-        ">>> perf harness: {} cells x {requests} requests, serial then {parallel_workers} worker(s)",
+        ">>> perf harness: {} cells x {requests} requests, serial then {parallel_workers} \
+         worker(s) on {detected_cpus} detected CPU(s)",
         cells().len()
     );
 
@@ -101,6 +114,7 @@ fn main() {
     json.push_str("  \"schema\": \"nssd-bench-perf/1\",\n");
     json.push_str(&format!("  \"requests_per_cell\": {requests},\n"));
     json.push_str(&format!("  \"parallel_workers\": {parallel_workers},\n"));
+    json.push_str(&format!("  \"detected_cpus\": {detected_cpus},\n"));
     json.push_str("  \"cells\": [\n");
     let n = serial_reports.len();
     for (i, ((arch, workload), r)) in cells().into_iter().zip(&serial_reports).enumerate() {
@@ -119,7 +133,14 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str(&format!("  \"serial_wall_ms\": {serial_wall_ms:.3},\n"));
     json.push_str(&format!("  \"parallel_wall_ms\": {parallel_wall_ms:.3},\n"));
-    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"speedup_comparable\": {speedup_comparable},\n"
+    ));
+    if speedup_comparable {
+        json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    } else {
+        json.push_str("  \"speedup\": null,\n");
+    }
     match peak_rss_kb() {
         Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
         None => json.push_str("  \"peak_rss_kb\": null\n"),
@@ -129,8 +150,16 @@ fn main() {
     let path = "BENCH.json";
     let mut f = std::fs::File::create(path).expect("create BENCH.json");
     f.write_all(json.as_bytes()).expect("write BENCH.json");
-    eprintln!(
-        ">>> serial {serial_wall_ms:.0} ms, parallel {parallel_wall_ms:.0} ms \
-         ({parallel_workers} workers) -> {speedup:.2}x; wrote {path}"
-    );
+    if speedup_comparable {
+        eprintln!(
+            ">>> serial {serial_wall_ms:.0} ms, parallel {parallel_wall_ms:.0} ms \
+             ({parallel_workers} workers) -> {speedup:.2}x; wrote {path}"
+        );
+    } else {
+        eprintln!(
+            ">>> serial {serial_wall_ms:.0} ms, parallel {parallel_wall_ms:.0} ms \
+             ({parallel_workers} workers, {detected_cpus} CPUs — speedup not comparable); \
+             wrote {path}"
+        );
+    }
 }

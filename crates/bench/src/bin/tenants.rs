@@ -1,0 +1,6 @@
+//! Runs the multi-tenant interference matrix: a GC-heavy write-burst
+//! tenant vs a read-latency-sensitive neighbor across baseSSD/pSSD/pnSSD
+//! and the three arbitration policies. Scale with `NSSD_TENANT_REQUESTS`.
+fn main() {
+    nssd_bench::tenants::tenant_interference().print();
+}

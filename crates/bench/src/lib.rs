@@ -10,6 +10,8 @@
 //!
 //! * `NSSD_REQUESTS` — requests per no-GC run (default 20000).
 //! * `NSSD_GC_REQUESTS` — requests per preconditioned GC run (default 6000).
+//! * `NSSD_TENANT_REQUESTS` — requests per tenant in the interference
+//!   matrix (default 2000).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@ pub mod gc_experiments;
 pub mod reliability;
 pub mod setup;
 mod table;
+pub mod tenants;
 
 pub use experiments::Experiment;
 pub use table::{fmt_ratio, fmt_us, Table};
@@ -47,6 +50,7 @@ pub fn all() -> Vec<NamedExperiment> {
         ("fig20a", gc_experiments::fig20a_tail_latency),
         ("fig20b", gc_experiments::fig20b_gc_time),
         ("fault_sweep", reliability::fault_sweep),
+        ("tenants", tenants::tenant_interference),
     ]
 }
 
@@ -75,8 +79,22 @@ mod tests {
     fn experiment_registry_is_complete() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
         for want in [
-            "fig01", "table1", "table2", "fig03", "fig04", "fig08", "fig14", "fig15", "fig16",
-            "fig17", "fig18", "fig19", "fig20a", "fig20b",
+            "fig01",
+            "table1",
+            "table2",
+            "fig03",
+            "fig04",
+            "fig08",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20a",
+            "fig20b",
+            "fault_sweep",
+            "tenants",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

@@ -17,14 +17,14 @@ use std::collections::{BinaryHeap, HashMap};
 use nssd_faults::{FaultEngine, ReadFault};
 use nssd_flash::{FlashChip, PageAddr, Pbn, Ppn};
 use nssd_ftl::{Ftl, FtlConfig, FtlError, Lpn, Relocation};
-use nssd_host::{HostPipes, IoOp, IoRequest};
+use nssd_host::{HostFrontend, HostPipes, IoOp, IoRequest, SchedulerKind, TenantConfig};
 use nssd_oracle::Oracle;
 use nssd_sim::DetRng;
 use nssd_sim::{EventQueue, Histogram, Reservation, Resource, SimTime};
 
 use crate::{
     ChannelUtilSummary, EccMode, EnergySummary, EngineSummary, GcSummary, LatencySummary,
-    SimReport, SsdConfig, Traffic,
+    SimReport, SsdConfig, TenantSummary, Traffic,
 };
 
 pub(crate) use fabric::{FabricBackend, FabricCtx, GcEcc};
@@ -73,6 +73,8 @@ enum GcNote {
 struct ReqState {
     op: IoOp,
     submitted: SimTime,
+    /// Owning tenant's queue index (0 outside multi-tenant runs).
+    tenant: u16,
     pages_total: u32,
     pages_done: u32,
 }
@@ -110,18 +112,44 @@ pub enum Drive {
         /// Target number of concurrently outstanding requests.
         depth: usize,
     },
+    /// Multi-tenant: each tenant's stream arrives at its trace timestamps
+    /// into that tenant's submission queue; the device pulls from the
+    /// queues through the arbitration policy, keeping at most `depth`
+    /// requests outstanding. Latency is measured from queue arrival, so
+    /// cross-tenant queueing interference is visible per tenant in
+    /// [`SimReport::tenants`].
+    MultiTenant {
+        /// Per-tenant QoS configuration and request stream, in queue-index
+        /// order (arbitration ties break toward the earlier tenant).
+        tenants: Vec<(TenantConfig, Vec<IoRequest>)>,
+        /// Queue-arbitration policy.
+        scheduler: SchedulerKind,
+        /// Outstanding-request budget shared by all tenants.
+        depth: usize,
+    },
 }
 
-impl Drive {
-    /// Consumes the drive into its request list and (for closed loop) the
-    /// outstanding-request target — the final hop of the zero-copy path
-    /// from [`crate::runner::TraceInput`] into the engine's arrival list.
-    fn into_parts(self) -> (Vec<IoRequest>, Option<usize>) {
-        match self {
-            Drive::OpenLoop(r) => (r, None),
-            Drive::ClosedLoop { requests, depth } => (requests, Some(depth.max(1))),
-        }
-    }
+/// Live state of a multi-tenant run: the submission frontend plus
+/// per-tenant accounting.
+#[derive(Debug)]
+struct MtRuntime {
+    frontend: HostFrontend,
+    /// Outstanding-request budget ([`SsdSim::inflight_io`] ceiling).
+    depth: usize,
+    stats: Vec<TenantStats>,
+}
+
+#[derive(Debug, Default)]
+struct TenantStats {
+    all: Histogram,
+    read: Histogram,
+    write: Histogram,
+    bytes: u64,
+    completed: u64,
+    slo_violations: u64,
+    dispatched: u64,
+    queue_delay: SimTime,
+    last_completion: SimTime,
 }
 
 /// The full-system SSD simulator.
@@ -152,7 +180,12 @@ pub struct SsdSim {
     fabric: Box<dyn FabricBackend>,
     // Workload.
     arrivals: Vec<IoRequest>,
+    /// Owning tenant per arrival (parallel to `arrivals`; empty outside
+    /// multi-tenant runs).
+    arrival_tenants: Vec<u16>,
     closed_loop_depth: Option<usize>,
+    /// Multi-tenant frontend state (None outside multi-tenant runs).
+    mt: Option<MtRuntime>,
     next_issue: usize,
     requests: Vec<ReqState>,
     /// Completed request slots available for reuse (a slot recycles only
@@ -252,7 +285,9 @@ impl SsdSim {
             host: HostPipes::new(cfg.host_params()),
             fabric,
             arrivals: Vec::new(),
+            arrival_tenants: Vec::new(),
             closed_loop_depth: None,
+            mt: None,
             next_issue: 0,
             requests: Vec::new(),
             req_free: Vec::new(),
@@ -423,16 +458,25 @@ impl SsdSim {
     /// Runs the workload to completion and returns the report.
     pub fn run(mut self, drive: Drive) -> SimReport {
         let wall_start = std::time::Instant::now();
-        let (arrivals, depth) = drive.into_parts();
-        self.closed_loop_depth = depth;
-        self.arrivals = arrivals;
+        match drive {
+            Drive::OpenLoop(r) => self.arrivals = r,
+            Drive::ClosedLoop { requests, depth } => {
+                self.arrivals = requests;
+                self.closed_loop_depth = Some(depth.max(1));
+            }
+            Drive::MultiTenant {
+                tenants,
+                scheduler,
+                depth,
+            } => self.init_multi_tenant(tenants, scheduler, depth),
+        }
         self.oracle_sync();
 
         if let Some(spec) = self.cfg.faults.chip_failure {
             self.queue.schedule(spec.at, Event::ChipFail);
         }
 
-        match depth {
+        match self.closed_loop_depth {
             Some(d) => {
                 let n = d.min(self.arrivals.len());
                 for i in 0..n {
@@ -440,6 +484,9 @@ impl SsdSim {
                 }
                 self.next_issue = n;
             }
+            // Open-loop and multi-tenant runs: every arrival is an event at
+            // its trace timestamp (multi-tenant arrivals land in submission
+            // queues; the device pulls them via `mt_dispatch`).
             None => {
                 for (i, r) in self.arrivals.iter().enumerate() {
                     self.queue.schedule(r.at, Event::Arrive(i));
@@ -542,8 +589,51 @@ impl SsdSim {
         self.programmed_at[pbn.raw() as usize] = at;
     }
 
+    /// Merges per-tenant streams into one time-ordered arrival list (stable
+    /// on ties, so same-instant arrivals keep tenant order) and stands up
+    /// the submission frontend.
+    fn init_multi_tenant(
+        &mut self,
+        tenants: Vec<(TenantConfig, Vec<IoRequest>)>,
+        scheduler: SchedulerKind,
+        depth: usize,
+    ) {
+        assert!(!tenants.is_empty(), "multi-tenant drive needs a tenant");
+        assert!(
+            tenants.len() <= u16::MAX as usize,
+            "tenant count exceeds the per-request tag width"
+        );
+        let mut configs = Vec::with_capacity(tenants.len());
+        let mut merged: Vec<(IoRequest, u16)> = Vec::new();
+        for (t, (config, requests)) in tenants.into_iter().enumerate() {
+            configs.push(config);
+            merged.extend(requests.into_iter().map(|r| (r, t as u16)));
+        }
+        merged.sort_by_key(|&(r, _)| r.at);
+        self.arrival_tenants = merged.iter().map(|&(_, t)| t).collect();
+        self.arrivals = merged.into_iter().map(|(r, _)| r).collect();
+        let stats = configs.iter().map(|_| TenantStats::default()).collect();
+        self.mt = Some(MtRuntime {
+            frontend: HostFrontend::new(configs, scheduler),
+            depth: depth.max(1),
+            stats,
+        });
+    }
+
     fn on_arrive(&mut self, i: usize) {
         let r = self.arrivals[i];
+        if let Some(mt) = self.mt.as_mut() {
+            // Multi-tenant: the request lands in its tenant's submission
+            // queue; the device pulls it when the arbitration policy and the
+            // outstanding budget allow.
+            self.first_arrival = self.first_arrival.min(r.at);
+            self.host_bytes += r.len as u64;
+            let tenant = self.arrival_tenants[i];
+            mt.stats[tenant as usize].bytes += r.len as u64;
+            mt.frontend.push(tenant as usize, r);
+            self.mt_dispatch();
+            return;
+        }
         let at = if self.closed_loop_depth.is_some() {
             self.now
         } else {
@@ -551,10 +641,39 @@ impl SsdSim {
         };
         self.first_arrival = self.first_arrival.min(at);
         self.host_bytes += r.len as u64;
+        self.start_request(r, 0, at);
+    }
+
+    /// Pulls queued requests into the device while the outstanding budget
+    /// allows, charging each dispatch's queueing delay to its tenant.
+    fn mt_dispatch(&mut self) {
+        loop {
+            let Some(mt) = self.mt.as_mut() else { return };
+            if self.inflight_io >= mt.depth {
+                return;
+            }
+            let Some((tenant, r)) = mt.frontend.pop_next() else {
+                return;
+            };
+            let st = &mut mt.stats[tenant];
+            st.dispatched += 1;
+            st.queue_delay += self.now.saturating_sub(r.at);
+            // Latency is measured from queue arrival (`r.at`), so time spent
+            // waiting behind other tenants shows up in this tenant's tail.
+            self.start_request(r, tenant as u16, r.at);
+        }
+    }
+
+    /// Admits one request into the device: allocates its slot, counts it
+    /// in-flight, and begins its page work. `submitted` is the latency
+    /// origin — equal to `now` for open/closed-loop drives, the original
+    /// queue-arrival time for multi-tenant dispatches.
+    fn start_request(&mut self, r: IoRequest, tenant: u16, submitted: SimTime) {
         let (first_page, pages) = r.page_span(self.page_bytes());
         let req_id = self.alloc_req(ReqState {
             op: r.op,
-            submitted: at,
+            submitted,
+            tenant,
             pages_total: pages,
             pages_done: 0,
         });
@@ -570,7 +689,7 @@ impl SsdSim {
                 // allocator runs at issue time so spatial-GC masks apply.
                 let landed = self
                     .host
-                    .inbound(at, r.len as u64, Traffic::HostWrite.tag());
+                    .inbound(self.now, r.len as u64, Traffic::HostWrite.tag());
                 self.queue.schedule(landed.end, Event::IssuePages(req_id));
                 self.pending_write_spans.insert(
                     req_id,
@@ -744,10 +863,26 @@ impl SsdSim {
         req.pages_done += 1;
         if req.pages_done == req.pages_total {
             let lat = self.now - req.submitted;
+            let op = req.op;
+            let tenant = req.tenant as usize;
             self.all_lat.record(lat);
-            match req.op {
+            match op {
                 IoOp::Read => self.read_lat.record(lat),
                 IoOp::Write => self.write_lat.record(lat),
+            }
+            if let Some(mt) = self.mt.as_mut() {
+                let slo = mt.frontend.config(tenant).slo_latency;
+                let st = &mut mt.stats[tenant];
+                st.completed += 1;
+                st.all.record(lat);
+                match op {
+                    IoOp::Read => st.read.record(lat),
+                    IoOp::Write => st.write.record(lat),
+                }
+                if lat > slo {
+                    st.slo_violations += 1;
+                }
+                st.last_completion = st.last_completion.max(self.now);
             }
             self.completed += 1;
             self.last_completion = self.last_completion.max(self.now);
@@ -760,6 +895,11 @@ impl SsdSim {
                 let i = self.next_issue;
                 self.next_issue += 1;
                 self.queue.schedule(self.now, Event::Arrive(i));
+            }
+            // Multi-tenant: a freed outstanding slot pulls the next queued
+            // request through the arbitration policy.
+            if self.mt.is_some() {
+                self.mt_dispatch();
             }
             // Preemptive GC waits for I/O quiescence.
             if self.gc.wants_pump() {
@@ -851,6 +991,36 @@ impl SsdSim {
             },
             host_bytes: self.host_bytes,
         };
+        // Per-tenant rollup (empty for single-tenant drives, which keeps
+        // their canonical snapshots byte-identical).
+        let tenants = match self.mt.take() {
+            None => Vec::new(),
+            Some(mt) => mt
+                .stats
+                .iter()
+                .enumerate()
+                .map(|(i, st)| {
+                    let config = mt.frontend.config(i);
+                    TenantSummary {
+                        name: config.name.clone(),
+                        weight: config.weight,
+                        slo_latency: config.slo_latency,
+                        completed: st.completed,
+                        bytes: st.bytes,
+                        all: LatencySummary::from_histogram(&st.all),
+                        read: LatencySummary::from_histogram(&st.read),
+                        write: LatencySummary::from_histogram(&st.write),
+                        slo_violations: st.slo_violations,
+                        mean_queue_delay: if st.dispatched == 0 {
+                            SimTime::ZERO
+                        } else {
+                            st.queue_delay / st.dispatched
+                        },
+                        last_completion: st.last_completion,
+                    }
+                })
+                .collect(),
+        };
         SimReport {
             architecture: self.cfg.architecture,
             completed: self.completed,
@@ -880,6 +1050,7 @@ impl SsdSim {
             channel_util: util,
             energy,
             reliability: self.faults.stats(),
+            tenants,
             oracle: oracle_summary,
             engine: EngineSummary {
                 scheduled_events: self.queue.scheduled_total(),

@@ -19,12 +19,30 @@
 use std::fmt::Write as _;
 
 use nssd_ftl::GcPolicy;
-use nssd_workloads::PaperWorkload;
+use nssd_workloads::{PaperWorkload, TenantMix};
 
 use crate::{
-    run_trace, run_trace_preconditioned, Architecture, ChannelUtilSummary, LatencySummary,
-    SimReport, SsdConfig,
+    run_tenants, run_tenants_preconditioned, run_trace, run_trace_preconditioned, Architecture,
+    ChannelUtilSummary, LatencySummary, SchedulerKind, SimReport, SsdConfig, TenantSummary,
 };
+
+/// The pinned multi-tenant scenarios a golden case can run instead of a
+/// single workload (the `workload` field is unused for these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantScenario {
+    /// [`TenantMix::interference`] — a GC-heavy write-burst tenant against
+    /// a read-latency-sensitive neighbor — under weighted-fair arbitration.
+    InterferenceWfq,
+}
+
+impl TenantScenario {
+    /// File-name slug standing in for the workload name.
+    fn slug(self) -> &'static str {
+        match self {
+            TenantScenario::InterferenceWfq => "mt-interference-wfq",
+        }
+    }
+}
 
 /// One pinned run of the golden matrix.
 #[derive(Debug, Clone, Copy)]
@@ -33,12 +51,15 @@ pub struct GoldenCase {
     pub architecture: Architecture,
     /// GC policy (with [`GcPolicy::None`] the device is not preconditioned).
     pub gc_policy: GcPolicy,
-    /// Workload driving the run.
+    /// Workload driving the run (ignored when `tenants` is set).
     pub workload: PaperWorkload,
     /// Trace and simulator seed.
     pub seed: u64,
-    /// Requests in the trace.
+    /// Requests in the trace (per tenant when `tenants` is set).
     pub requests: usize,
+    /// When set, the case runs this multi-tenant scenario through the
+    /// submission frontend instead of a single open-loop workload.
+    pub tenants: Option<TenantScenario>,
 }
 
 impl GoldenCase {
@@ -59,18 +80,21 @@ impl GoldenCase {
             GcPolicy::Preemptive => "preempt",
             GcPolicy::Spatial => "spatial",
         };
-        let workload: String = self
-            .workload
-            .name()
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '-'
-                }
-            })
-            .collect();
+        let workload: String = match self.tenants {
+            Some(scenario) => scenario.slug().to_string(),
+            None => self
+                .workload
+                .name()
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '-'
+                    }
+                })
+                .collect(),
+        };
         format!("{arch}_{policy}_{workload}_s{}.json", self.seed)
     }
 
@@ -92,6 +116,19 @@ impl GoldenCase {
     /// Propagates configuration/run errors from the runner.
     pub fn run(&self) -> Result<SimReport, String> {
         let cfg = self.config();
+        if let Some(scenario) = self.tenants {
+            let mix = match scenario {
+                TenantScenario::InterferenceWfq => TenantMix::interference(self.requests),
+            };
+            // 3/4 of logical space: inside the 0.85 preconditioned region,
+            // split into per-tenant partitions by the mix.
+            let streams = mix.generate(cfg.logical_bytes() * 3 / 4, self.seed);
+            return if self.gc_policy == GcPolicy::None {
+                run_tenants(cfg, streams, SchedulerKind::WeightedFair, 8)
+            } else {
+                run_tenants_preconditioned(cfg, streams, SchedulerKind::WeightedFair, 8, 0.85, 0.3)
+            };
+        }
         // The trace is generated per run, so it moves into the engine
         // by value — the zero-copy `TraceInput` path.
         let trace = self
@@ -130,6 +167,7 @@ pub fn matrix() -> Vec<GoldenCase> {
                 workload,
                 seed: 7,
                 requests: 120,
+                tenants: None,
             });
         }
     }
@@ -141,8 +179,26 @@ pub fn matrix() -> Vec<GoldenCase> {
                 workload: PaperWorkload::YcsbA,
                 seed: 13,
                 requests: 120,
+                tenants: None,
             });
         }
+    }
+    // Tenant-interference sweep: the write-burst vs latency-sensitive mix
+    // through the multi-queue frontend on an aged device, across the
+    // conventional bus, the packetized bus, and the paper's pnSSD.
+    for architecture in [
+        Architecture::BaseSsd,
+        Architecture::PSsd,
+        Architecture::PnSsd,
+    ] {
+        cases.push(GoldenCase {
+            architecture,
+            gc_policy: GcPolicy::Parallel,
+            workload: PaperWorkload::YcsbA, // unused: the scenario drives it
+            seed: 21,
+            requests: 60,
+            tenants: Some(TenantScenario::InterferenceWfq),
+        });
     }
     cases
 }
@@ -181,6 +237,25 @@ fn jstr(s: &str) -> String {
 fn jlist<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
     let body: Vec<String> = items.iter().map(f).collect();
     format!("[{}]", body.join(","))
+}
+
+fn tenant(t: &TenantSummary) -> String {
+    format!(
+        "{{\"name\":{},\"weight\":{},\"slo_latency_ns\":{},\"completed\":{},\"bytes\":{},\
+         \"all\":{},\"read\":{},\"write\":{},\"slo_violations\":{},\
+         \"mean_queue_delay_ns\":{},\"last_completion_ns\":{}}}",
+        jstr(&t.name),
+        t.weight,
+        t.slo_latency.as_ns(),
+        t.completed,
+        t.bytes,
+        latency(&t.all),
+        latency(&t.read),
+        latency(&t.write),
+        t.slo_violations,
+        t.mean_queue_delay.as_ns(),
+        t.last_completion.as_ns()
+    )
 }
 
 fn latency(l: &LatencySummary) -> String {
@@ -293,6 +368,11 @@ pub fn canonical_json(r: &SimReport) -> String {
         r.reliability.grown_bad_blocks,
         r.reliability.chip_failures
     );
+    // Emitted only for multi-tenant runs: the single-tenant snapshots
+    // predate the field and must stay byte-identical.
+    if !r.tenants.is_empty() {
+        let _ = write!(s, "  \"tenants\": {},\n", jlist(&r.tenants, tenant));
+    }
     let _ = write!(
         s,
         "  \"oracle\": {{\"enabled\":{},\"checks\":{},\"violations\":{},\

@@ -32,17 +32,19 @@ mod runner;
 
 pub use config::{Architecture, EccConfig, EccMode, SsdConfig, Traffic};
 pub use engine::{Drive, SsdSim};
-pub use golden::GoldenCase;
+pub use golden::{GoldenCase, TenantScenario};
 pub use nssd_faults::{
     BadBlockConfig, BitErrorConfig, ChipFailureSpec, FaultConfig, LinkFaultConfig, ReliabilityStats,
 };
+pub use nssd_host::{SchedulerKind, SloClass, TenantConfig};
 pub use nssd_oracle::{Oracle, OracleSummary};
 pub use report::{
     ChannelUtilSummary, EnergySummary, EngineSummary, GcSummary, LatencySummary, SimReport,
+    TenantSummary,
 };
 pub use runner::{
-    run_closed_loop, run_closed_loop_preconditioned, run_trace, run_trace_preconditioned,
-    TraceInput,
+    run_closed_loop, run_closed_loop_preconditioned, run_tenants, run_tenants_preconditioned,
+    run_trace, run_trace_preconditioned, TraceInput,
 };
 
 #[cfg(test)]

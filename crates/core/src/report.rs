@@ -188,6 +188,76 @@ impl fmt::Display for EngineSummary {
     }
 }
 
+/// One tenant's completion rollup from a multi-tenant run
+/// ([`crate::Drive::MultiTenant`]).
+///
+/// Latency here is end-to-end from submission-queue arrival, so time a
+/// request spent queued behind other tenants (the interference signal)
+/// is part of every percentile — and of the SLO check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant name (from its `TenantConfig`).
+    pub name: String,
+    /// Configured arbitration weight.
+    pub weight: u32,
+    /// Latency target violations were counted against.
+    pub slo_latency: SimTime,
+    /// Requests completed for this tenant.
+    pub completed: u64,
+    /// Host bytes this tenant submitted.
+    pub bytes: u64,
+    /// All-request latency (queueing included).
+    pub all: LatencySummary,
+    /// Read latency.
+    pub read: LatencySummary,
+    /// Write latency.
+    pub write: LatencySummary,
+    /// Completions whose latency exceeded `slo_latency`.
+    pub slo_violations: u64,
+    /// Mean time requests waited in the submission queue before dispatch.
+    pub mean_queue_delay: SimTime,
+    /// This tenant's last completion time.
+    pub last_completion: SimTime,
+}
+
+impl TenantSummary {
+    /// Fraction of completions that violated the SLO (0 when none
+    /// completed).
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.slo_violations as f64 / self.completed as f64
+        }
+    }
+
+    /// Achieved bandwidth in bytes/sec over `span` (typically the run's
+    /// arrival-to-last-completion span).
+    pub fn bytes_per_sec(&self, span: SimTime) -> f64 {
+        if span.is_zero() {
+            0.0
+        } else {
+            self.bytes as f64 / span.as_secs_f64()
+        }
+    }
+}
+
+impl fmt::Display for TenantSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (w={}): {} done, p99={} p99.9={}, {} SLO violations (target {})",
+            self.name,
+            self.weight,
+            self.completed,
+            self.all.p99,
+            self.all.p999,
+            self.slo_violations,
+            self.slo_latency
+        )
+    }
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -223,6 +293,9 @@ pub struct SimReport {
     /// Reliability counters from fault injection (all zero when faults are
     /// off).
     pub reliability: ReliabilityStats,
+    /// Per-tenant rollups, in queue-index order (empty outside
+    /// [`crate::Drive::MultiTenant`] runs).
+    pub tenants: Vec<TenantSummary>,
     /// Shadow-oracle observations (default / `enabled: false` when the
     /// oracle was off).
     pub oracle: OracleSummary,
@@ -268,6 +341,9 @@ impl fmt::Display for SimReport {
         }
         if self.reliability.any_events() {
             writeln!(f, "  reliability: {}", self.reliability)?;
+        }
+        for t in &self.tenants {
+            writeln!(f, "  tenant {t}")?;
         }
         if self.oracle.enabled {
             writeln!(
@@ -319,6 +395,7 @@ mod tests {
                 per_way_mean: vec![0.0],
             },
             reliability: ReliabilityStats::default(),
+            tenants: Vec::new(),
             oracle: OracleSummary::default(),
             engine: EngineSummary::default(),
         }
@@ -391,5 +468,39 @@ mod tests {
         let s = format!("{}", report(1234));
         assert!(s.contains("baseSSD"));
         assert!(s.contains("KIOPS"));
+    }
+
+    #[test]
+    fn tenant_summary_rates_and_display() {
+        let t = TenantSummary {
+            name: "latency".into(),
+            weight: 3,
+            slo_latency: SimTime::from_ms(1),
+            completed: 200,
+            bytes: 4 << 20,
+            all: summary(900),
+            read: summary(900),
+            write: summary(900),
+            slo_violations: 10,
+            mean_queue_delay: SimTime::from_us(40),
+            last_completion: SimTime::from_ms(2),
+        };
+        assert!((t.slo_violation_rate() - 0.05).abs() < 1e-12);
+        // 4 MiB over 1 ms = 4 GiB/s.
+        let bps = t.bytes_per_sec(SimTime::from_ms(1));
+        assert!((bps - (4 << 20) as f64 * 1000.0).abs() < 1.0);
+        assert_eq!(t.bytes_per_sec(SimTime::ZERO), 0.0);
+        let empty = TenantSummary {
+            completed: 0,
+            slo_violations: 0,
+            ..t.clone()
+        };
+        assert_eq!(empty.slo_violation_rate(), 0.0);
+        let s = t.to_string();
+        assert!(s.contains("latency"), "{s}");
+        assert!(s.contains("SLO violations"), "{s}");
+        let mut r = report(1000);
+        r.tenants.push(t);
+        assert!(r.to_string().contains("tenant latency"));
     }
 }

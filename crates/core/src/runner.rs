@@ -7,7 +7,7 @@
 //! engine's [`Drive`] without a single copy.
 
 use nssd_ftl::FtlError;
-use nssd_host::IoRequest;
+use nssd_host::{IoRequest, SchedulerKind, TenantConfig};
 use nssd_workloads::Trace;
 
 use crate::{Drive, SimReport, SsdConfig, SsdSim};
@@ -125,6 +125,84 @@ pub fn run_closed_loop_preconditioned(
         requests: requests.into_records(),
         depth,
     }))
+}
+
+/// Runs per-tenant streams through the NVMe-style multi-queue frontend:
+/// each tenant's requests arrive at their trace timestamps into that
+/// tenant's submission queue, the device pulls through `scheduler` with at
+/// most `depth` outstanding, and the report carries per-tenant rollups
+/// ([`SimReport::tenants`]). The device is preconditioned just enough that
+/// every read hits a mapped page (no GC pressure).
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn run_tenants(
+    cfg: SsdConfig,
+    streams: Vec<(TenantConfig, impl TraceInput)>,
+    scheduler: SchedulerKind,
+    depth: usize,
+) -> Result<SimReport, String> {
+    check_streams(&streams)?;
+    let mut sim = SsdSim::new(cfg)?;
+    let footprint = streams
+        .iter()
+        .map(|(_, t)| t.footprint_bytes())
+        .max()
+        .unwrap_or(0);
+    precondition_footprint(&mut sim, footprint)?;
+    Ok(sim.run(Drive::MultiTenant {
+        tenants: tenant_records(streams),
+        scheduler,
+        depth,
+    }))
+}
+
+/// Multi-tenant variant on an aged device (GC triggers during the run) —
+/// the interference experiments, where one tenant's GC-heavy writes
+/// contend with a neighbor's latency-sensitive reads.
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn run_tenants_preconditioned(
+    cfg: SsdConfig,
+    streams: Vec<(TenantConfig, impl TraceInput)>,
+    scheduler: SchedulerKind,
+    depth: usize,
+    fill: f64,
+    overwrite: f64,
+) -> Result<SimReport, String> {
+    check_streams(&streams)?;
+    let mut sim = SsdSim::new(cfg)?;
+    let footprint = streams
+        .iter()
+        .map(|(_, t)| t.footprint_bytes())
+        .max()
+        .unwrap_or(0);
+    check_footprint(&sim, footprint, fill)?;
+    precondition_aged(&mut sim, fill, overwrite)?;
+    Ok(sim.run(Drive::MultiTenant {
+        tenants: tenant_records(streams),
+        scheduler,
+        depth,
+    }))
+}
+
+fn check_streams(streams: &[(TenantConfig, impl TraceInput)]) -> Result<(), String> {
+    if streams.is_empty() {
+        return Err("multi-tenant run needs at least one tenant stream".into());
+    }
+    Ok(())
+}
+
+fn tenant_records(
+    streams: Vec<(TenantConfig, impl TraceInput)>,
+) -> Vec<(TenantConfig, Vec<IoRequest>)> {
+    streams
+        .into_iter()
+        .map(|(config, t)| (config, t.into_records()))
+        .collect()
 }
 
 /// Ages the device: `fill` of the logical space written, `overwrite ×

@@ -4,6 +4,10 @@
 //!   every workload produces and the engine consumes.
 //! * [`HostParams`]/[`HostPipes`] — the NVMe/PCIe link, SoC system bus and
 //!   internal DRAM as bandwidth pipes, provisioned per Table II.
+//! * [`HostFrontend`]/[`QueueScheduler`]/[`TenantConfig`] — the NVMe-style
+//!   multi-tenant submission layer: weighted per-tenant queues, SLO
+//!   classes, and pluggable arbitration (round-robin, strict priority,
+//!   weighted-fair).
 //!
 //! ```
 //! use nssd_host::{HostParams, HostPipes, IoOp, IoRequest};
@@ -19,9 +23,14 @@
 #![warn(missing_docs)]
 
 mod pipes;
+mod qos;
 mod request;
 
 pub use pipes::{HostParams, HostPipes};
+pub use qos::{
+    HostFrontend, QueueScheduler, RoundRobin, SchedulerKind, SloClass, StrictPriority,
+    SubmissionQueue, TenantConfig, WeightedFair,
+};
 pub use request::{IoOp, IoRequest, RequestId};
 
 #[cfg(test)]

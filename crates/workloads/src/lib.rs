@@ -8,6 +8,9 @@
 //! * [`PaperWorkload`]/[`generate_trace`] — the named suite standing in for
 //!   the paper's enterprise traces, with per-workload documented
 //!   characteristics (read mix, skew, burstiness, idleness).
+//! * [`TenantMix`]/[`TenantSpec`] — multi-tenant mixes pairing QoS
+//!   parameters with per-tenant arrival processes over partitioned
+//!   address space.
 //!
 //! ```
 //! use nssd_workloads::PaperWorkload;
@@ -24,13 +27,15 @@ mod import;
 mod stats;
 mod suite;
 mod synthetic;
+mod tenants;
 mod trace;
 mod zipf;
 
 pub use import::{import_msr, MsrImportOptions, MsrParseError};
-pub use stats::TraceStats;
+pub use stats::{exact_percentile, tail_resolvable, tail_support, TraceStats};
 pub use suite::{generate_trace, PaperWorkload, WorkloadSpec, REFERENCE_BYTES_PER_SEC};
 pub use synthetic::{MixedSpec, SyntheticPattern, SyntheticSpec};
+pub use tenants::{TenantMix, TenantSpec, TenantWorkload};
 pub use trace::{Trace, TraceParseError};
 pub use zipf::Zipf;
 

@@ -27,8 +27,22 @@ echo "==> perf harness smoke"
 # that parallel output is byte-identical to serial (the bin asserts it),
 # and that BENCH.json comes out well-formed.
 NSSD_PERF_REQUESTS=300 NSSD_JOBS=2 cargo run --release -q -p nssd-bench --bin perf
-python3 -c "import json; d=json.load(open('BENCH.json')); assert d['schema']=='nssd-bench-perf/1' and d['cells'] and d['speedup']>0, d" \
-  || { echo "BENCH.json malformed"; exit 1; }
+# On a 1-CPU runner the harness reports speedup:null and flags it; the assert
+# accepts either shape but requires the flag and the figure to agree.
+python3 - <<'EOF'
+import json
+d = json.load(open('BENCH.json'))
+assert d['schema'] == 'nssd-bench-perf/1' and d['cells'], d
+assert d['detected_cpus'] >= 1, d
+assert (d['speedup'] is None) == (not d['speedup_comparable']), d
+if d['speedup'] is not None:
+    assert d['speedup'] > 0, d
+EOF
+
+echo "==> tenant interference smoke"
+# A small run of the multi-tenant matrix: exercises the NVMe-style frontend,
+# all three schedulers, and the per-tenant report path end-to-end.
+NSSD_TENANT_REQUESTS=200 cargo run --release -q -p nssd-bench --bin tenants
 
 echo "==> oracle mutation self-test"
 # Plants a corrupted mapping entry and a dropped GC copy; the shadow oracle

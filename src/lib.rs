@@ -63,8 +63,12 @@ pub use nssd_workloads as workloads;
 
 // The most-used items, flattened for convenience.
 pub use nssd_core::{
-    run_closed_loop, run_closed_loop_preconditioned, run_trace, run_trace_preconditioned,
-    Architecture, FaultConfig, GoldenCase, OracleSummary, ReliabilityStats, SimReport, SsdConfig,
+    run_closed_loop, run_closed_loop_preconditioned, run_tenants, run_tenants_preconditioned,
+    run_trace, run_trace_preconditioned, Architecture, FaultConfig, GoldenCase, OracleSummary,
+    ReliabilityStats, SchedulerKind, SimReport, SloClass, SsdConfig, TenantConfig, TenantSummary,
 };
 pub use nssd_ftl::GcPolicy;
-pub use nssd_workloads::{MixedSpec, PaperWorkload, SyntheticPattern, SyntheticSpec, Trace};
+pub use nssd_workloads::{
+    MixedSpec, PaperWorkload, SyntheticPattern, SyntheticSpec, TenantMix, TenantSpec,
+    TenantWorkload, Trace,
+};

@@ -30,6 +30,19 @@ fn render_matrix(pool: Pool) -> Vec<(String, String)> {
 }
 
 #[test]
+fn matrix_exercises_the_multi_tenant_engine_path() {
+    // The equivalence gate above only pins what the matrix contains; make it
+    // impossible to silently drop the multi-tenant cases (the one engine
+    // path where a worker-count-dependent bug would hide in per-tenant
+    // bookkeeping rather than aggregate latency).
+    let tenant_cases = matrix().iter().filter(|c| c.tenants.is_some()).count();
+    assert!(
+        tenant_cases >= 3,
+        "expected at least one tenant-interference case per architecture, got {tenant_cases}"
+    );
+}
+
+#[test]
 fn golden_matrix_is_byte_identical_at_one_and_four_workers() {
     let serial = render_matrix(Pool::with_workers(1));
     let parallel = render_matrix(Pool::with_workers(4));
