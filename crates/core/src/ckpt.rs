@@ -1,0 +1,180 @@
+//! Versioned checkpoint envelope around the simulator's serialized state.
+//!
+//! Layout (all integers little-endian):
+//!
+//! | field        | bytes | contents                                        |
+//! |--------------|-------|-------------------------------------------------|
+//! | magic        | 8     | `b"NSSDCKPT"`                                   |
+//! | version      | 4     | format version, currently 1                     |
+//! | fingerprint  | 8     | FNV-1a of the configuration's `Debug` rendering |
+//! | payload\_len | 8     | length of the payload that follows              |
+//! | payload      | n     | [`SsdSim`] state (see `engine::ckpt`)           |
+//! | checksum     | 8     | FNV-1a over everything before this field        |
+//!
+//! The fingerprint binds a checkpoint to the exact configuration that
+//! produced it — resuming under a different geometry, policy, or seed is
+//! rejected up front rather than producing a silently divergent run. The
+//! trailing checksum catches torn writes and bit rot; every decode error is
+//! a returned `Err`, never a panic.
+
+use nssd_sim::{CkptReader, CkptWriter};
+
+use crate::engine::SsdSim;
+use crate::SsdConfig;
+
+const MAGIC: &[u8; 8] = b"NSSDCKPT";
+const VERSION: u32 = 1;
+/// Envelope bytes outside the payload: magic + version + fingerprint +
+/// payload length + trailing checksum.
+const OVERHEAD: usize = 8 + 4 + 8 + 8 + 8;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint binding a checkpoint to its configuration. Derived from the
+/// `Debug` rendering, so *any* field difference — geometry, policies,
+/// timing, seed, fault plan — changes it.
+pub fn config_fingerprint(cfg: &SsdConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+/// Simulation-state checkpointing: [`Checkpoint::save`] snapshots a live
+/// simulator, [`Checkpoint::resume`] rebuilds one that continues the run
+/// byte-identically.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_core::{Architecture, Checkpoint, Drive, SsdConfig, SsdSim};
+/// use nssd_host::{IoOp, IoRequest};
+/// use nssd_sim::SimTime;
+///
+/// let cfg = SsdConfig::tiny(Architecture::BaseSsd);
+/// let mut sim = SsdSim::new(cfg.clone()).unwrap();
+/// let reqs: Vec<_> = (0..8)
+///     .map(|i| IoRequest::new(IoOp::Write, i * 16384, 16384, SimTime::ZERO))
+///     .collect();
+/// sim.start(Drive::ClosedLoop { requests: reqs, depth: 2 });
+/// for _ in 0..40 {
+///     sim.step();
+/// }
+/// let bytes = Checkpoint::save(&sim);
+/// let mut resumed = Checkpoint::resume(cfg, &bytes).unwrap();
+/// while sim.step() {}
+/// while resumed.step() {}
+/// assert_eq!(sim.now(), resumed.now());
+/// ```
+pub struct Checkpoint;
+
+impl Checkpoint {
+    /// Serializes the simulator's complete state into an enveloped buffer.
+    pub fn save(sim: &SsdSim) -> Vec<u8> {
+        let mut pw = CkptWriter::new();
+        sim.ckpt_save_state(&mut pw);
+        let payload = pw.into_bytes();
+        let mut w = CkptWriter::with_capacity(payload.len() + OVERHEAD);
+        w.put_bytes(MAGIC);
+        w.put_u32(VERSION);
+        w.put_u64(config_fingerprint(sim.config()));
+        w.put_usize(payload.len());
+        w.put_bytes(&payload);
+        let mut out = w.into_bytes();
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Rebuilds a simulator from `bytes`, ready to [`SsdSim::step`] onward
+    /// exactly as the saved run would have.
+    ///
+    /// `cfg` must be the configuration the checkpoint was taken under; it
+    /// is checked against the stored fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure on a bad magic, an unsupported
+    /// version, a configuration mismatch, a checksum mismatch, truncation,
+    /// trailing bytes, or any invalid field in the state payload. Corrupt
+    /// input never panics.
+    pub fn resume(cfg: SsdConfig, bytes: &[u8]) -> Result<SsdSim, String> {
+        if bytes.len() < OVERHEAD {
+            return Err(format!(
+                "checkpoint too short: {} bytes, envelope needs {OVERHEAD}",
+                bytes.len()
+            ));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("split_at(len - 8)"));
+        let actual = fnv1a(body);
+        if stored != actual {
+            return Err(format!(
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            ));
+        }
+        let mut r = CkptReader::new(body);
+        let magic = r.take_bytes(8).map_err(|e| e.to_string())?;
+        if magic != MAGIC {
+            return Err("not a checkpoint (bad magic)".into());
+        }
+        let version = r.take_u32().map_err(|e| e.to_string())?;
+        if version != VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (expected {VERSION})"
+            ));
+        }
+        let fingerprint = r.take_u64().map_err(|e| e.to_string())?;
+        let expected = config_fingerprint(&cfg);
+        if fingerprint != expected {
+            return Err(format!(
+                "checkpoint was taken under a different configuration \
+                 (fingerprint {fingerprint:#018x}, this configuration is {expected:#018x})"
+            ));
+        }
+        let payload_len = r.take_usize().map_err(|e| e.to_string())?;
+        if payload_len != r.remaining() {
+            return Err(format!(
+                "payload length {payload_len} disagrees with the {} bytes present",
+                r.remaining()
+            ));
+        }
+        let mut sim = SsdSim::new(cfg)?;
+        sim.ckpt_load_state(&mut r).map_err(|e| e.to_string())?;
+        match r.finish() {
+            Ok(()) => Ok(sim),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Architecture;
+
+    #[test]
+    fn fingerprint_changes_with_any_field() {
+        let base = SsdConfig::tiny(Architecture::BaseSsd);
+        let mut seeded = base;
+        seeded.seed ^= 1;
+        let mut arch = base;
+        arch.architecture = Architecture::PnSsd;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&seeded));
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&arch));
+        let copy = base;
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&copy));
+    }
+
+    #[test]
+    fn resume_rejects_garbage_without_panicking() {
+        let cfg = SsdConfig::tiny(Architecture::BaseSsd);
+        assert!(Checkpoint::resume(cfg, b"").is_err());
+        assert!(Checkpoint::resume(cfg, b"short").is_err());
+        assert!(Checkpoint::resume(cfg, &[0u8; 64]).is_err());
+    }
+}

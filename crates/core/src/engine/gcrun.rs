@@ -9,7 +9,7 @@
 
 use nssd_flash::{Pbn, Ppn};
 use nssd_ftl::{FtlError, GcPolicy, Lpn, WayMask};
-use nssd_sim::SimTime;
+use nssd_sim::{CkptError, CkptReader, CkptWriter, SimTime};
 
 use super::{Event, SsdSim};
 use crate::Traffic;
@@ -85,6 +85,17 @@ impl GcRuntime {
             dest_fallbacks: 0,
             reloc_retries: 0,
         }
+    }
+
+    /// Copies tracked by the current (or last) GC event, for checkpoint
+    /// event-index validation.
+    pub(crate) fn copy_count(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Victims tracked by the current (or last) GC event.
+    pub(crate) fn victim_count(&self) -> usize {
+        self.victims.len()
     }
 
     /// Whether a pump event would make progress (preemptive launching).
@@ -465,5 +476,176 @@ impl SsdSim {
 impl GcRuntime {
     fn policy(&self) -> GcPolicy {
         self.policy
+    }
+
+    /// Serialized floor of one copy / one victim record, for count caps.
+    const COPY_MIN_BYTES: usize = 8 + 8 + 8 + 1;
+    const VICTIM_MIN_BYTES: usize = 8 + 4 + 8 + 8 + 8;
+
+    /// Serializes the collector's runtime state. The policy and pacing
+    /// batch are configuration, not state, and are not written.
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_bool(self.active);
+        w.put_time(self.started_at);
+        w.put_usize(self.copies.len());
+        for c in &self.copies {
+            w.put_usize(c.victim);
+            w.put_u64(c.lpn.raw());
+            w.put_u64(c.src.raw());
+            match c.dst {
+                Some(d) => {
+                    w.put_bool(true);
+                    w.put_u64(d.raw());
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_usize(self.next_copy);
+        w.put_usize(self.outstanding);
+        w.put_usize(self.victims.len());
+        for v in &self.victims {
+            w.put_u64(v.pbn.raw());
+            w.put_u32(v.copies_left);
+            w.put_usize(v.range_start);
+            w.put_usize(v.range_end);
+            w.put_usize(v.launched);
+        }
+        w.put_usize(self.victims_left);
+        match self.gc_mask {
+            Some(m) => {
+                w.put_bool(true);
+                w.put_u64(m.bits());
+            }
+            None => w.put_bool(false),
+        }
+        w.put_time(self.starved_until);
+        w.put_bool(self.pump_scheduled);
+        w.put_u64(self.events_completed);
+        w.put_time(self.total_time);
+        w.put_u64(self.pages_copied);
+        w.put_u64(self.blocks_erased);
+        w.put_u64(self.dest_fallbacks);
+        w.put_u64(self.reloc_retries);
+    }
+
+    /// Restores state saved by [`GcRuntime::ckpt_save`] into a collector of
+    /// the same policy; the geometry bounds validate every index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or any out-of-range page, block, or
+    /// slice index.
+    pub(crate) fn ckpt_load(
+        &mut self,
+        r: &mut CkptReader,
+        page_count: u64,
+        logical_pages: u64,
+        block_count: u64,
+        total_ways: u32,
+    ) -> Result<(), CkptError> {
+        let active = r.take_bool()?;
+        let started_at = r.take_time()?;
+        let copy_count = r.take_count(Self::COPY_MIN_BYTES)?;
+        let mut copies = Vec::with_capacity(copy_count);
+        for _ in 0..copy_count {
+            let victim = r.take_usize()?;
+            let lpn = r.take_u64()?;
+            if lpn >= logical_pages {
+                return Err(CkptError::Invalid(format!(
+                    "gc copy lpn {lpn} out of range"
+                )));
+            }
+            let src = r.take_u64()?;
+            if src >= page_count {
+                return Err(CkptError::Invalid(format!(
+                    "gc copy src {src} out of range"
+                )));
+            }
+            let dst = if r.take_bool()? {
+                let d = r.take_u64()?;
+                if d >= page_count {
+                    return Err(CkptError::Invalid(format!("gc copy dst {d} out of range")));
+                }
+                Some(Ppn::new(d))
+            } else {
+                None
+            };
+            copies.push(GcCopy {
+                victim,
+                lpn: Lpn::new(lpn),
+                src: Ppn::new(src),
+                dst,
+            });
+        }
+        let next_copy = r.take_usize()?;
+        let outstanding = r.take_usize()?;
+        if next_copy > copies.len() || outstanding > copies.len() {
+            return Err(CkptError::Invalid(
+                "gc copy cursor exceeds the copy list".into(),
+            ));
+        }
+        let victim_count = r.take_count(Self::VICTIM_MIN_BYTES)?;
+        let mut victims = Vec::with_capacity(victim_count);
+        for _ in 0..victim_count {
+            let pbn = r.take_u64()?;
+            if pbn >= block_count {
+                return Err(CkptError::Invalid(format!(
+                    "gc victim pbn {pbn} out of range"
+                )));
+            }
+            let copies_left = r.take_u32()?;
+            let range_start = r.take_usize()?;
+            let range_end = r.take_usize()?;
+            let launched = r.take_usize()?;
+            if range_start > range_end
+                || range_end > copies.len()
+                || launched > range_end - range_start
+                || copies_left as usize > range_end - range_start
+            {
+                return Err(CkptError::Invalid("gc victim range inconsistent".into()));
+            }
+            victims.push(VictimState {
+                pbn: Pbn::new(pbn),
+                copies_left,
+                range_start,
+                range_end,
+                launched,
+            });
+        }
+        if copies.iter().any(|c| c.victim >= victims.len()) {
+            return Err(CkptError::Invalid(
+                "gc copy references a victim out of range".into(),
+            ));
+        }
+        let victims_left = r.take_usize()?;
+        if victims_left > victims.len() {
+            return Err(CkptError::Invalid(
+                "gc victims_left exceeds the victim list".into(),
+            ));
+        }
+        let gc_mask = if r.take_bool()? {
+            Some(WayMask::from_bits(r.take_u64()?, total_ways)?)
+        } else {
+            None
+        };
+        let starved_until = r.take_time()?;
+        let pump_scheduled = r.take_bool()?;
+        self.active = active;
+        self.started_at = started_at;
+        self.copies = copies;
+        self.next_copy = next_copy;
+        self.outstanding = outstanding;
+        self.victims = victims;
+        self.victims_left = victims_left;
+        self.gc_mask = gc_mask;
+        self.starved_until = starved_until;
+        self.pump_scheduled = pump_scheduled;
+        self.events_completed = r.take_u64()?;
+        self.total_time = r.take_time()?;
+        self.pages_copied = r.take_u64()?;
+        self.blocks_erased = r.take_u64()?;
+        self.dest_fallbacks = r.take_u64()?;
+        self.reloc_retries = r.take_u64()?;
+        Ok(())
     }
 }

@@ -6,6 +6,7 @@
 //! routing decision (the greedy h-vs-v choice, page splitting, preemptive GC
 //! yielding) is made with resource state *at the moment the data is ready*.
 
+mod ckpt;
 mod fabric;
 mod gcrun;
 mod iopath;
@@ -14,7 +15,7 @@ use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use nssd_faults::{FaultEngine, ReadFault};
+use nssd_faults::{FaultEngine, ReadFault, ReliabilityStats};
 use nssd_flash::{FlashChip, PageAddr, Pbn, Ppn};
 use nssd_ftl::{Ftl, FtlConfig, FtlError, Lpn, Relocation};
 use nssd_host::{HostFrontend, HostPipes, IoOp, IoRequest, SchedulerKind, TenantConfig};
@@ -134,6 +135,9 @@ pub enum Drive {
 #[derive(Debug)]
 struct MtRuntime {
     frontend: HostFrontend,
+    /// The arbitration policy the frontend was built with (retained so a
+    /// checkpoint can rebuild an identical frontend).
+    scheduler: SchedulerKind,
     /// Outstanding-request budget ([`SsdSim::inflight_io`] ceiling).
     depth: usize,
     stats: Vec<TenantStats>,
@@ -225,6 +229,9 @@ pub struct SsdSim {
     host_bytes: u64,
     first_arrival: SimTime,
     last_completion: SimTime,
+    /// Whether [`SsdSim::start`] has run at least once (the one-shot chip
+    /// failure is scheduled only on the first drive).
+    started: bool,
     /// Host wall-clock spent inside the event loop (reported, never part of
     /// the canonical snapshot — see [`crate::golden`]).
     loop_wall: std::time::Duration,
@@ -309,6 +316,7 @@ impl SsdSim {
             host_bytes: 0,
             first_arrival: SimTime::MAX,
             last_completion: SimTime::ZERO,
+            started: false,
             loop_wall: std::time::Duration::ZERO,
             cfg,
         };
@@ -363,6 +371,18 @@ impl SsdSim {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Reliability counters accumulated by the fault engine so far.
+    pub fn reliability(&self) -> ReliabilityStats {
+        self.faults.stats()
+    }
+
+    /// The cumulative end-to-end latency histogram (all operations).
+    /// Snapshot it between [`SsdSim::start`] segments and use
+    /// [`Histogram::delta_since`] for per-segment tails.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.all_lat
     }
 
     /// Makes the shadow oracle (when enabled) adopt the FTL's current state
@@ -458,29 +478,74 @@ impl SsdSim {
     /// Runs the workload to completion and returns the report.
     pub fn run(mut self, drive: Drive) -> SimReport {
         let wall_start = std::time::Instant::now();
+        self.start(drive);
+        while self.step() {}
+        self.loop_wall = wall_start.elapsed();
+        self.into_report()
+    }
+
+    /// Loads a drive and schedules its arrivals, without running anything.
+    ///
+    /// On a fresh simulator `now` is zero, so trace timestamps are absolute
+    /// and the behaviour is byte-identical to the old single-shot `run`. A
+    /// simulator that has already drained an earlier drive can `start` a new
+    /// one: arrival timestamps are then interpreted relative to the current
+    /// simulated time, which is how the lifetime bench strings months of
+    /// traffic together in segments.
+    pub fn start(&mut self, drive: Drive) {
+        debug_assert!(
+            self.queue.is_empty(),
+            "starting a drive with events still pending"
+        );
+        let base = self.now;
         match drive {
-            Drive::OpenLoop(r) => self.arrivals = r,
+            Drive::OpenLoop(mut r) => {
+                if base > SimTime::ZERO {
+                    for req in &mut r {
+                        req.at += base;
+                    }
+                }
+                self.arrivals = r;
+                self.arrival_tenants = Vec::new();
+                self.closed_loop_depth = None;
+                self.mt = None;
+            }
             Drive::ClosedLoop { requests, depth } => {
                 self.arrivals = requests;
+                self.arrival_tenants = Vec::new();
                 self.closed_loop_depth = Some(depth.max(1));
+                self.mt = None;
             }
             Drive::MultiTenant {
-                tenants,
+                mut tenants,
                 scheduler,
                 depth,
-            } => self.init_multi_tenant(tenants, scheduler, depth),
+            } => {
+                if base > SimTime::ZERO {
+                    for (_, requests) in &mut tenants {
+                        for req in requests {
+                            req.at += base;
+                        }
+                    }
+                }
+                self.closed_loop_depth = None;
+                self.init_multi_tenant(tenants, scheduler, depth);
+            }
         }
         self.oracle_sync();
 
-        if let Some(spec) = self.cfg.faults.chip_failure {
-            self.queue.schedule(spec.at, Event::ChipFail);
+        if !self.started {
+            if let Some(spec) = self.cfg.faults.chip_failure {
+                self.queue.schedule(spec.at, Event::ChipFail);
+            }
         }
+        self.started = true;
 
         match self.closed_loop_depth {
             Some(d) => {
                 let n = d.min(self.arrivals.len());
                 for i in 0..n {
-                    self.queue.schedule(SimTime::ZERO, Event::Arrive(i));
+                    self.queue.schedule(base, Event::Arrive(i));
                 }
                 self.next_issue = n;
             }
@@ -494,13 +559,34 @@ impl SsdSim {
                 self.next_issue = self.arrivals.len();
             }
         }
+    }
 
-        while let Some((t, ev)) = self.queue.pop() {
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.handle(ev);
+    /// Advances the simulation by exactly one event; `false` once the event
+    /// queue has drained (the started drive is complete).
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((t, ev)) => {
+                debug_assert!(t >= self.now, "time went backwards");
+                self.now = t;
+                self.handle(ev);
+                true
+            }
+            None => false,
         }
-        self.loop_wall = wall_start.elapsed();
+    }
+
+    /// Whether the event queue has drained.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Host requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Consumes the simulator and produces the final report.
+    pub fn into_report(self) -> SimReport {
         self.report()
     }
 
@@ -615,6 +701,7 @@ impl SsdSim {
         let stats = configs.iter().map(|_| TenantStats::default()).collect();
         self.mt = Some(MtRuntime {
             frontend: HostFrontend::new(configs, scheduler),
+            scheduler,
             depth: depth.max(1),
             stats,
         });

@@ -22,8 +22,9 @@ use nssd_ftl::GcPolicy;
 use nssd_workloads::{PaperWorkload, TenantMix};
 
 use crate::{
-    run_tenants, run_tenants_preconditioned, run_trace, run_trace_preconditioned, Architecture,
-    ChannelUtilSummary, LatencySummary, SchedulerKind, SimReport, SsdConfig, TenantSummary,
+    prepare_tenants, prepare_tenants_preconditioned, prepare_trace, prepare_trace_preconditioned,
+    Architecture, ChannelUtilSummary, Drive, LatencySummary, SchedulerKind, SimReport, SsdConfig,
+    SsdSim, TenantSummary,
 };
 
 /// The pinned multi-tenant scenarios a golden case can run instead of a
@@ -115,6 +116,18 @@ impl GoldenCase {
     ///
     /// Propagates configuration/run errors from the runner.
     pub fn run(&self) -> Result<SimReport, String> {
+        let (sim, drive) = self.prepare()?;
+        Ok(sim.run(drive))
+    }
+
+    /// Builds the preconditioned simulator and [`Drive`] for this case
+    /// without running it — the checkpoint-equivalence tests step this pair
+    /// by hand, snapshotting mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid configurations or infeasible traces.
+    pub fn prepare(&self) -> Result<(SsdSim, Drive), String> {
         let cfg = self.config();
         if let Some(scenario) = self.tenants {
             let mix = match scenario {
@@ -124,9 +137,16 @@ impl GoldenCase {
             // split into per-tenant partitions by the mix.
             let streams = mix.generate(cfg.logical_bytes() * 3 / 4, self.seed);
             return if self.gc_policy == GcPolicy::None {
-                run_tenants(cfg, streams, SchedulerKind::WeightedFair, 8)
+                prepare_tenants(cfg, streams, SchedulerKind::WeightedFair, 8)
             } else {
-                run_tenants_preconditioned(cfg, streams, SchedulerKind::WeightedFair, 8, 0.85, 0.3)
+                prepare_tenants_preconditioned(
+                    cfg,
+                    streams,
+                    SchedulerKind::WeightedFair,
+                    8,
+                    0.85,
+                    0.3,
+                )
             };
         }
         // The trace is generated per run, so it moves into the engine
@@ -135,11 +155,11 @@ impl GoldenCase {
             .workload
             .generate(self.requests, cfg.logical_bytes() / 2, self.seed);
         if self.gc_policy == GcPolicy::None {
-            run_trace(cfg, trace)
+            prepare_trace(cfg, trace)
         } else {
             // GC cases start from a preconditioned (aged) device so the
             // policies actually fire within the pinned request budget.
-            run_trace_preconditioned(cfg, trace, 0.85, 0.3)
+            prepare_trace_preconditioned(cfg, trace, 0.85, 0.3)
         }
     }
 }

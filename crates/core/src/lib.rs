@@ -24,12 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ckpt;
 mod config;
 mod engine;
 pub mod golden;
 mod report;
 mod runner;
 
+pub use ckpt::{config_fingerprint, Checkpoint};
 pub use config::{Architecture, EccConfig, EccMode, SsdConfig, Traffic};
 pub use engine::{Drive, SsdSim};
 pub use golden::{GoldenCase, TenantScenario};
@@ -43,8 +45,10 @@ pub use report::{
     TenantSummary,
 };
 pub use runner::{
-    run_closed_loop, run_closed_loop_preconditioned, run_tenants, run_tenants_preconditioned,
-    run_trace, run_trace_preconditioned, TraceInput,
+    prepare_closed_loop, prepare_closed_loop_preconditioned, prepare_tenants,
+    prepare_tenants_preconditioned, prepare_trace, prepare_trace_preconditioned, run_closed_loop,
+    run_closed_loop_preconditioned, run_tenants, run_tenants_preconditioned, run_trace,
+    run_trace_preconditioned, TraceInput,
 };
 
 #[cfg(test)]

@@ -63,9 +63,21 @@ impl TraceInput for Vec<IoRequest> {
 ///
 /// Returns a message for invalid configurations or infeasible traces.
 pub fn run_trace(cfg: SsdConfig, trace: impl TraceInput) -> Result<SimReport, String> {
+    let (sim, drive) = prepare_trace(cfg, trace)?;
+    Ok(sim.run(drive))
+}
+
+/// Builds the preconditioned simulator and [`Drive`] that [`run_trace`]
+/// would execute, without running it — the entry point for stepped or
+/// checkpointed execution.
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn prepare_trace(cfg: SsdConfig, trace: impl TraceInput) -> Result<(SsdSim, Drive), String> {
     let mut sim = SsdSim::new(cfg)?;
     precondition_footprint(&mut sim, trace.footprint_bytes())?;
-    Ok(sim.run(Drive::OpenLoop(trace.into_records())))
+    Ok((sim, Drive::OpenLoop(trace.into_records())))
 }
 
 /// Runs a trace open-loop on a device preconditioned to `fill` of its
@@ -81,10 +93,25 @@ pub fn run_trace_preconditioned(
     fill: f64,
     overwrite: f64,
 ) -> Result<SimReport, String> {
+    let (sim, drive) = prepare_trace_preconditioned(cfg, trace, fill, overwrite)?;
+    Ok(sim.run(drive))
+}
+
+/// Prepared (unrun) form of [`run_trace_preconditioned`].
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn prepare_trace_preconditioned(
+    cfg: SsdConfig,
+    trace: impl TraceInput,
+    fill: f64,
+    overwrite: f64,
+) -> Result<(SsdSim, Drive), String> {
     let mut sim = SsdSim::new(cfg)?;
     check_footprint(&sim, trace.footprint_bytes(), fill)?;
     precondition_aged(&mut sim, fill, overwrite)?;
-    Ok(sim.run(Drive::OpenLoop(trace.into_records())))
+    Ok((sim, Drive::OpenLoop(trace.into_records())))
 }
 
 /// Runs requests closed-loop with `depth` outstanding (the synthetic
@@ -98,12 +125,29 @@ pub fn run_closed_loop(
     requests: impl TraceInput,
     depth: usize,
 ) -> Result<SimReport, String> {
+    let (sim, drive) = prepare_closed_loop(cfg, requests, depth)?;
+    Ok(sim.run(drive))
+}
+
+/// Prepared (unrun) form of [`run_closed_loop`].
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn prepare_closed_loop(
+    cfg: SsdConfig,
+    requests: impl TraceInput,
+    depth: usize,
+) -> Result<(SsdSim, Drive), String> {
     let mut sim = SsdSim::new(cfg)?;
     precondition_footprint(&mut sim, requests.footprint_bytes())?;
-    Ok(sim.run(Drive::ClosedLoop {
-        requests: requests.into_records(),
-        depth,
-    }))
+    Ok((
+        sim,
+        Drive::ClosedLoop {
+            requests: requests.into_records(),
+            depth,
+        },
+    ))
 }
 
 /// Closed-loop variant with GC preconditioning (Fig 18).
@@ -118,13 +162,32 @@ pub fn run_closed_loop_preconditioned(
     fill: f64,
     overwrite: f64,
 ) -> Result<SimReport, String> {
+    let (sim, drive) = prepare_closed_loop_preconditioned(cfg, requests, depth, fill, overwrite)?;
+    Ok(sim.run(drive))
+}
+
+/// Prepared (unrun) form of [`run_closed_loop_preconditioned`].
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn prepare_closed_loop_preconditioned(
+    cfg: SsdConfig,
+    requests: impl TraceInput,
+    depth: usize,
+    fill: f64,
+    overwrite: f64,
+) -> Result<(SsdSim, Drive), String> {
     let mut sim = SsdSim::new(cfg)?;
     check_footprint(&sim, requests.footprint_bytes(), fill)?;
     precondition_aged(&mut sim, fill, overwrite)?;
-    Ok(sim.run(Drive::ClosedLoop {
-        requests: requests.into_records(),
-        depth,
-    }))
+    Ok((
+        sim,
+        Drive::ClosedLoop {
+            requests: requests.into_records(),
+            depth,
+        },
+    ))
 }
 
 /// Runs per-tenant streams through the NVMe-style multi-queue frontend:
@@ -143,6 +206,21 @@ pub fn run_tenants(
     scheduler: SchedulerKind,
     depth: usize,
 ) -> Result<SimReport, String> {
+    let (sim, drive) = prepare_tenants(cfg, streams, scheduler, depth)?;
+    Ok(sim.run(drive))
+}
+
+/// Prepared (unrun) form of [`run_tenants`].
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn prepare_tenants(
+    cfg: SsdConfig,
+    streams: Vec<(TenantConfig, impl TraceInput)>,
+    scheduler: SchedulerKind,
+    depth: usize,
+) -> Result<(SsdSim, Drive), String> {
     check_streams(&streams)?;
     let mut sim = SsdSim::new(cfg)?;
     let footprint = streams
@@ -151,11 +229,14 @@ pub fn run_tenants(
         .max()
         .unwrap_or(0);
     precondition_footprint(&mut sim, footprint)?;
-    Ok(sim.run(Drive::MultiTenant {
-        tenants: tenant_records(streams),
-        scheduler,
-        depth,
-    }))
+    Ok((
+        sim,
+        Drive::MultiTenant {
+            tenants: tenant_records(streams),
+            scheduler,
+            depth,
+        },
+    ))
 }
 
 /// Multi-tenant variant on an aged device (GC triggers during the run) —
@@ -173,6 +254,24 @@ pub fn run_tenants_preconditioned(
     fill: f64,
     overwrite: f64,
 ) -> Result<SimReport, String> {
+    let (sim, drive) =
+        prepare_tenants_preconditioned(cfg, streams, scheduler, depth, fill, overwrite)?;
+    Ok(sim.run(drive))
+}
+
+/// Prepared (unrun) form of [`run_tenants_preconditioned`].
+///
+/// # Errors
+///
+/// Returns a message for invalid configurations or infeasible traces.
+pub fn prepare_tenants_preconditioned(
+    cfg: SsdConfig,
+    streams: Vec<(TenantConfig, impl TraceInput)>,
+    scheduler: SchedulerKind,
+    depth: usize,
+    fill: f64,
+    overwrite: f64,
+) -> Result<(SsdSim, Drive), String> {
     check_streams(&streams)?;
     let mut sim = SsdSim::new(cfg)?;
     let footprint = streams
@@ -182,11 +281,14 @@ pub fn run_tenants_preconditioned(
         .unwrap_or(0);
     check_footprint(&sim, footprint, fill)?;
     precondition_aged(&mut sim, fill, overwrite)?;
-    Ok(sim.run(Drive::MultiTenant {
-        tenants: tenant_records(streams),
-        scheduler,
-        depth,
-    }))
+    Ok((
+        sim,
+        Drive::MultiTenant {
+            tenants: tenant_records(streams),
+            scheduler,
+            depth,
+        },
+    ))
 }
 
 fn check_streams(streams: &[(TenantConfig, impl TraceInput)]) -> Result<(), String> {

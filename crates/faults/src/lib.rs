@@ -39,7 +39,7 @@
 
 use core::fmt;
 
-use nssd_sim::{DetRng, Rng, SimTime};
+use nssd_sim::{CkptError, CkptReader, CkptWriter, DetRng, Rng, SimTime};
 
 /// Raw-bit-error and ECC-tier parameters for flash array reads.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -533,6 +533,66 @@ impl FaultEngine {
         self.stats.chip_failures += 1;
         self.stats.pages_remapped += pages_remapped;
         self.stats.pages_lost += pages_lost;
+    }
+
+    /// Serializes the mutable injector state: the RNG stream position and
+    /// every reliability counter. The configuration (and the `active` flag
+    /// derived from it) is not written — restore targets an engine built
+    /// from the same [`FaultConfig`].
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        let s = &self.stats;
+        for v in [
+            s.read_retries,
+            s.soft_decodes,
+            s.uncorrectable_reads,
+            s.retransmissions,
+            s.unrecovered_transfers,
+            s.silent_corruptions,
+            s.bad_blocks_manufacture,
+            s.grown_bad_blocks,
+            s.chip_failures,
+            s.pages_remapped,
+            s.pages_lost,
+            s.raw_link_bytes,
+            s.effective_link_bytes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores state saved by [`FaultEngine::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.take_u64()?;
+        }
+        self.rng = DetRng::from_state(state);
+        let s = &mut self.stats;
+        for field in [
+            &mut s.read_retries,
+            &mut s.soft_decodes,
+            &mut s.uncorrectable_reads,
+            &mut s.retransmissions,
+            &mut s.unrecovered_transfers,
+            &mut s.silent_corruptions,
+            &mut s.bad_blocks_manufacture,
+            &mut s.grown_bad_blocks,
+            &mut s.chip_failures,
+            &mut s.pages_remapped,
+            &mut s.pages_lost,
+            &mut s.raw_link_bytes,
+            &mut s.effective_link_bytes,
+        ] {
+            *field = r.take_u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@
 //! implied by the ordering of the staged transactions (the engine never
 //! starts a data transfer before the array op that fills the register ends).
 
-use nssd_sim::{Reservation, Resource, SimTime};
+use nssd_sim::{CkptError, CkptReader, CkptWriter, Reservation, Resource, SimTime};
 
 use crate::{FlashTiming, Geometry};
 
@@ -138,6 +138,41 @@ impl FlashChip {
     /// `(reads, programs, erases)` issued so far.
     pub fn op_counts(&self) -> (u64, u64, u64) {
         (self.op_counts[0], self.op_counts[1], self.op_counts[2])
+    }
+
+    /// Serializes per-plane timelines and op counters (geometry and timing
+    /// are configuration, re-derived on construction).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_usize(self.plane_res.len());
+        for r in &self.plane_res {
+            r.ckpt_save(w);
+        }
+        for &c in &self.op_counts {
+            w.put_u64(c);
+        }
+    }
+
+    /// Restores state saved by [`FlashChip::ckpt_save`] into a chip built
+    /// with the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a plane-count mismatch.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.take_usize()?;
+        if n != self.plane_res.len() {
+            return Err(CkptError::Invalid(format!(
+                "chip has {n} planes in checkpoint, {} configured",
+                self.plane_res.len()
+            )));
+        }
+        for res in &mut self.plane_res {
+            res.ckpt_load(r)?;
+        }
+        for c in &mut self.op_counts {
+            *c = r.take_u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 use core::fmt;
 
 use nssd_flash::{Geometry, Ppn};
+use nssd_sim::{CkptError, CkptReader, CkptWriter};
 
 use crate::BlockTable;
 
@@ -69,6 +70,30 @@ impl WayMask {
         let bits = all.0 & !self.0;
         assert!(bits != 0, "complement mask is empty");
         WayMask(bits)
+    }
+
+    /// The raw permitted-way bits, for checkpointing.
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a mask from bits captured by [`WayMask::bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CkptError`] if the bits are empty or permit a way at or
+    /// beyond `total_ways`.
+    pub fn from_bits(bits: u64, total_ways: u32) -> Result<WayMask, CkptError> {
+        if bits == 0 {
+            return Err(CkptError::Invalid("way mask permits no ways".into()));
+        }
+        let all = WayMask::all(total_ways);
+        if bits & !all.0 != 0 {
+            return Err(CkptError::Invalid(format!(
+                "way mask {bits:#x} permits ways beyond {total_ways}"
+            )));
+        }
+        Ok(WayMask(bits))
     }
 }
 
@@ -267,6 +292,57 @@ impl PageAllocator {
     /// Number of pages allocated so far.
     pub fn allocated(&self) -> u64 {
         self.seq // upper bound; equals allocations when no unit was skipped
+    }
+
+    /// Serializes the stripe sequence counter and the per-plane open-block
+    /// frontier (the policy is configuration).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_u64(self.seq);
+        w.put_usize(self.open.len());
+        for slot in &self.open {
+            match slot {
+                Some(pbn) => {
+                    w.put_bool(true);
+                    w.put_u64(pbn.raw());
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    /// Restores state saved by [`PageAllocator::ckpt_save`] into an
+    /// allocator built for the same geometry and policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a plane-count mismatch, or an open
+    /// block outside the device.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader, block_count: u64) -> Result<(), CkptError> {
+        let seq = r.take_u64()?;
+        let n = r.take_usize()?;
+        if n != self.open.len() {
+            return Err(CkptError::Invalid(format!(
+                "allocator has {n} planes in checkpoint, {} configured",
+                self.open.len()
+            )));
+        }
+        let mut open = Vec::with_capacity(n);
+        for _ in 0..n {
+            if r.take_bool()? {
+                let raw = r.take_u64()?;
+                if raw >= block_count {
+                    return Err(CkptError::Invalid(format!(
+                        "open block {raw} outside device of {block_count} blocks"
+                    )));
+                }
+                open.push(Some(nssd_flash::Pbn::new(raw)));
+            } else {
+                open.push(None);
+            }
+        }
+        self.seq = seq;
+        self.open = open;
+        Ok(())
     }
 
     /// Drops every open-block frontier whose block satisfies `retire`.

@@ -1,6 +1,7 @@
 //! Physical block metadata: valid bitmaps, write pointers, wear state.
 
 use nssd_flash::{Geometry, Pbn, Ppn};
+use nssd_sim::{ckpt, CkptError, CkptReader, CkptWriter};
 
 /// Lifecycle state of a physical block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +85,42 @@ impl BlockMeta {
             *w &= !bit;
             self.valid_count -= 1;
         }
+    }
+
+    fn ckpt_save(&self, w: &mut CkptWriter) {
+        ckpt::put_u64_slice(w, &self.valid);
+        w.put_u32(self.valid_count);
+        w.put_u32(self.write_ptr);
+        w.put_u32(self.erase_count);
+        w.put_u8(match self.state {
+            BlockState::Free => 0,
+            BlockState::Open => 1,
+            BlockState::Full => 2,
+            BlockState::Bad => 3,
+        });
+        w.put_u64(self.last_program);
+    }
+
+    fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let valid = ckpt::take_u64_vec_exact(r, self.valid.len(), "valid bitmap")?;
+        let valid_count = r.take_u32()?;
+        let write_ptr = r.take_u32()?;
+        let erase_count = r.take_u32()?;
+        let state = match r.take_u8()? {
+            0 => BlockState::Free,
+            1 => BlockState::Open,
+            2 => BlockState::Full,
+            3 => BlockState::Bad,
+            t => return Err(CkptError::Invalid(format!("block state tag {t}"))),
+        };
+        let last_program = r.take_u64()?;
+        self.valid = valid;
+        self.valid_count = valid_count;
+        self.write_ptr = write_ptr;
+        self.erase_count = erase_count;
+        self.state = state;
+        self.last_program = last_program;
+        Ok(())
     }
 }
 
@@ -492,6 +529,93 @@ impl BlockTable {
             }
         }
         problems
+    }
+
+    /// Serializes every block's metadata, the per-plane free-list stacks
+    /// (order matters: allocation pops from the top), and the device-wide
+    /// counters. Geometry is configuration and is not written.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_usize(self.blocks.len());
+        for b in &self.blocks {
+            b.ckpt_save(w);
+        }
+        w.put_usize(self.free.len());
+        for list in &self.free {
+            w.put_usize(list.len());
+            for &local in list {
+                w.put_u32(local);
+            }
+        }
+        w.put_u64(self.free_total);
+        w.put_u64(self.op_clock);
+        w.put_u64(self.retired);
+    }
+
+    /// Restores state saved by [`BlockTable::ckpt_save`] into a table built
+    /// for the same geometry, then re-runs the full structural self-check.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, any shape mismatch against the
+    /// geometry, or a decoded table that fails
+    /// [`BlockTable::check_invariants`].
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.take_usize()?;
+        if n != self.blocks.len() {
+            return Err(CkptError::Invalid(format!(
+                "checkpoint has {n} blocks, geometry has {}",
+                self.blocks.len()
+            )));
+        }
+        let pages = self.geometry.pages_per_block;
+        for b in &mut self.blocks {
+            b.ckpt_load(r)?;
+            // Pre-validate the counter ordering the accounting arithmetic
+            // relies on, so check_invariants below cannot underflow.
+            if b.write_ptr > pages || b.valid_count > b.write_ptr {
+                return Err(CkptError::Invalid(format!(
+                    "block counters out of order: write_ptr {} valid {} of {pages} pages",
+                    b.write_ptr, b.valid_count
+                )));
+            }
+        }
+        let planes = r.take_usize()?;
+        if planes != self.free.len() {
+            return Err(CkptError::Invalid(format!(
+                "checkpoint has {planes} planes, geometry has {}",
+                self.free.len()
+            )));
+        }
+        let bpp = self.geometry.blocks_per_plane;
+        for list in &mut self.free {
+            let len = r.take_count(4)?;
+            if len > bpp as usize {
+                return Err(CkptError::Invalid(format!(
+                    "free list of {len} blocks exceeds plane capacity {bpp}"
+                )));
+            }
+            list.clear();
+            for _ in 0..len {
+                let local = r.take_u32()?;
+                if local >= bpp {
+                    return Err(CkptError::Invalid(format!(
+                        "free-list block {local} out of plane range {bpp}"
+                    )));
+                }
+                list.push(local);
+            }
+        }
+        self.free_total = r.take_u64()?;
+        self.op_clock = r.take_u64()?;
+        self.retired = r.take_u64()?;
+        let problems = self.check_invariants();
+        if !problems.is_empty() {
+            return Err(CkptError::Invalid(format!(
+                "restored block table fails invariants: {}",
+                problems.join("; ")
+            )));
+        }
+        Ok(())
     }
 
     /// Summarizes wear (erase counts) across the device, including per-way

@@ -9,7 +9,7 @@
 use core::fmt;
 
 use nssd_flash::{Geometry, GeometryError, Pbn, Ppn};
-use nssd_sim::Rng;
+use nssd_sim::{CkptError, CkptReader, CkptWriter, Rng};
 
 use crate::{
     select_victims, AllocPolicy, BlockState, BlockTable, GcConfig, Lpn, MappingTable, OutOfSpace,
@@ -686,6 +686,58 @@ impl Ftl {
             problems.push(format!("{mapped} mapped pages but {valid} valid pages"));
         }
         problems
+    }
+
+    /// Serializes all mutable FTL state: mapping, block table, both
+    /// allocators, spatial groups, the write mask, and activity counters.
+    /// Configuration (geometry, policies, watermarks) is not written — a
+    /// checkpoint restores into an [`Ftl::new`]-built instance of the same
+    /// configuration.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        self.mapping.ckpt_save(w);
+        self.blocks.ckpt_save(w);
+        self.user_alloc.ckpt_save(w);
+        self.gc_alloc.ckpt_save(w);
+        self.groups.ckpt_save(w);
+        w.put_u64(self.write_mask.bits());
+        w.put_bool(self.spatial_epoch_active);
+        w.put_u64(self.stats.host_writes);
+        w.put_u64(self.stats.gc_relocations);
+        w.put_u64(self.stats.erases);
+        w.put_u64(self.stats.blocks_retired);
+        w.put_u64(self.stats.gc_triggers);
+    }
+
+    /// Restores state saved by [`Ftl::ckpt_save`], then re-runs the full
+    /// structural self-check.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, any shape mismatch against this
+    /// FTL's configuration, or restored state failing
+    /// [`Ftl::check_invariants`].
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.mapping.ckpt_load(r)?;
+        self.blocks.ckpt_load(r)?;
+        let block_count = self.geometry.block_count();
+        self.user_alloc.ckpt_load(r, block_count)?;
+        self.gc_alloc.ckpt_load(r, block_count)?;
+        self.groups.ckpt_load(r)?;
+        self.write_mask = WayMask::from_bits(r.take_u64()?, self.geometry.ways)?;
+        self.spatial_epoch_active = r.take_bool()?;
+        self.stats.host_writes = r.take_u64()?;
+        self.stats.gc_relocations = r.take_u64()?;
+        self.stats.erases = r.take_u64()?;
+        self.stats.blocks_retired = r.take_u64()?;
+        self.stats.gc_triggers = r.take_u64()?;
+        let problems = self.check_invariants();
+        if !problems.is_empty() {
+            return Err(CkptError::Invalid(format!(
+                "restored FTL fails invariants: {}",
+                problems.join("; ")
+            )));
+        }
+        Ok(())
     }
 
     /// Silently swaps the physical pages of two mapped LPNs — a deliberate

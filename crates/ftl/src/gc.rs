@@ -14,6 +14,8 @@
 
 use core::fmt;
 
+use nssd_sim::{CkptError, CkptReader, CkptWriter};
+
 use crate::{VictimPolicy, WayMask};
 
 /// Which garbage-collection policy the FTL runs.
@@ -186,6 +188,35 @@ impl SpatialGroups {
     /// Number of completed epochs.
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Serializes the group split (the way counts double as a config check
+    /// on restore).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_u32(self.total_ways);
+        w.put_u32(self.gc_ways_count);
+        w.put_bool(self.gc_is_upper);
+        w.put_u64(self.epochs);
+    }
+
+    /// Restores state saved by [`SpatialGroups::ckpt_save`] into groups
+    /// built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a way-count mismatch.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let total_ways = r.take_u32()?;
+        let gc_ways_count = r.take_u32()?;
+        if total_ways != self.total_ways || gc_ways_count != self.gc_ways_count {
+            return Err(CkptError::Invalid(format!(
+                "spatial groups {gc_ways_count}/{total_ways} differ from configured {}/{}",
+                self.gc_ways_count, self.total_ways
+            )));
+        }
+        self.gc_is_upper = r.take_bool()?;
+        self.epochs = r.take_u64()?;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 use core::fmt;
 
 use nssd_flash::Ppn;
+use nssd_sim::{ckpt, CkptError, CkptReader, CkptWriter};
 
 /// A logical page number (host-visible page index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -160,6 +161,42 @@ impl MappingTable {
         self.l2p[b.raw() as usize] = pa;
         self.p2l[pa as usize] = b.raw();
         self.p2l[pb as usize] = a.raw();
+    }
+
+    /// Serializes both direction tables and the mapped count.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        ckpt::put_u64_slice(w, &self.l2p);
+        ckpt::put_u64_slice(w, &self.p2l);
+        w.put_u64(self.mapped);
+    }
+
+    /// Restores state saved by [`MappingTable::ckpt_save`] into a table of
+    /// the same dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a dimension mismatch, or a table
+    /// that fails the forward/reverse consistency invariant.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let l2p = ckpt::take_u64_vec_exact(r, self.l2p.len(), "l2p table")?;
+        let p2l = ckpt::take_u64_vec_exact(r, self.p2l.len(), "p2l table")?;
+        let mapped = r.take_u64()?;
+        // Range-check raw entries first so check_consistency cannot index
+        // out of bounds on corrupt input.
+        if l2p.iter().any(|&p| p != UNMAPPED && p >= p2l.len() as u64) {
+            return Err(CkptError::Invalid("l2p entry out of physical range".into()));
+        }
+        if p2l.iter().any(|&l| l != UNMAPPED && l >= l2p.len() as u64) {
+            return Err(CkptError::Invalid("p2l entry out of logical range".into()));
+        }
+        let restored = MappingTable { l2p, p2l, mapped };
+        if !restored.check_consistency() {
+            return Err(CkptError::Invalid(
+                "mapping table fails forward/reverse consistency".into(),
+            ));
+        }
+        *self = restored;
+        Ok(())
     }
 
     /// Checks the forward/reverse consistency invariant; used by tests.

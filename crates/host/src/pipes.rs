@@ -5,7 +5,7 @@
 //! wider pSSD/pnSSD configurations the provisioning scales with the total
 //! flash-side bandwidth, as the paper's methodology states (§VII-A).
 
-use nssd_sim::{BandwidthPipe, Reservation, SimTime};
+use nssd_sim::{BandwidthPipe, CkptError, CkptReader, CkptWriter, Reservation, SimTime};
 
 /// Host-side bandwidth provisioning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +85,25 @@ impl HostPipes {
     pub fn dram_roundtrip(&mut self, now: SimTime, bytes: u64, tag: usize) -> Reservation {
         let a = self.dram.transfer(now, bytes, tag);
         self.dram.transfer(a.end, bytes, tag)
+    }
+
+    /// Serializes the three pipe timelines.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        self.pcie.ckpt_save(w);
+        self.system_bus.ckpt_save(w);
+        self.dram.ckpt_save(w);
+    }
+
+    /// Restores state saved by [`HostPipes::ckpt_save`] into pipes of the
+    /// same provisioning.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a recorder-shape mismatch.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.pcie.ckpt_load(r)?;
+        self.system_bus.ckpt_load(r)?;
+        self.dram.ckpt_load(r)
     }
 
     /// Total busy time on the PCIe pipe.

@@ -30,7 +30,7 @@
 use core::fmt;
 use std::collections::VecDeque;
 
-use nssd_sim::SimTime;
+use nssd_sim::{CkptError, CkptReader, CkptWriter, SimTime};
 
 use crate::IoRequest;
 
@@ -157,6 +157,29 @@ pub trait QueueScheduler: fmt::Debug + Send {
     /// Observes a dispatch of `bytes` from `queue` (whose configured weight
     /// is `weight`) — the hook stateful policies account service with.
     fn note_dispatch(&mut self, _queue: usize, _weight: u32, _bytes: u32) {}
+
+    /// The policy's mutable state as a flat word vector, for checkpointing.
+    /// Stateless policies return the default empty vector.
+    fn export_state(&self) -> Vec<u128> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`QueueScheduler::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the vector does not match the policy's shape.
+    fn import_state(&mut self, state: &[u128]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} scheduler carries no state, got {} words",
+                self.label(),
+                state.len()
+            ))
+        }
+    }
 }
 
 /// Round-robin arbitration: rotate over non-empty queues, one request each.
@@ -180,6 +203,24 @@ impl QueueScheduler for RoundRobin {
             }
         }
         None
+    }
+
+    fn export_state(&self) -> Vec<u128> {
+        vec![self.next as u128]
+    }
+
+    fn import_state(&mut self, state: &[u128]) -> Result<(), String> {
+        match state {
+            [next] => {
+                self.next = usize::try_from(*next)
+                    .map_err(|_| "round-robin cursor overflows usize".to_string())?;
+                Ok(())
+            }
+            _ => Err(format!(
+                "round-robin state must be one word, got {}",
+                state.len()
+            )),
+        }
     }
 }
 
@@ -254,6 +295,24 @@ impl QueueScheduler for WeightedFair {
         let start = self.vft[queue].max(self.vclock);
         self.vclock = start;
         self.vft[queue] = start + bytes as u128 * Self::SCALE / weight.max(1) as u128;
+    }
+
+    fn export_state(&self) -> Vec<u128> {
+        let mut state = Vec::with_capacity(1 + self.vft.len());
+        state.push(self.vclock);
+        state.extend_from_slice(&self.vft);
+        state
+    }
+
+    fn import_state(&mut self, state: &[u128]) -> Result<(), String> {
+        match state.split_first() {
+            Some((&vclock, vft)) => {
+                self.vclock = vclock;
+                self.vft = vft.to_vec();
+                Ok(())
+            }
+            None => Err("weighted-fair state needs at least the virtual clock".into()),
+        }
     }
 }
 
@@ -376,6 +435,56 @@ impl HostFrontend {
     /// Whether every queue is empty.
     pub fn is_empty(&self) -> bool {
         self.queues.iter().all(SubmissionQueue::is_empty)
+    }
+
+    /// Serializes the queued requests and the arbitration policy's state.
+    /// Tenant configurations are not written — restore targets a frontend
+    /// built from the same tenants and [`SchedulerKind`].
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_usize(self.queues.len());
+        for q in &self.queues {
+            w.put_usize(q.fifo.len());
+            for req in &q.fifo {
+                req.ckpt_save(w);
+            }
+        }
+        let state = self.scheduler.export_state();
+        w.put_usize(state.len());
+        for word in state {
+            w.put_u128(word);
+        }
+    }
+
+    /// Restores state saved by [`HostFrontend::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a tenant-count mismatch, or
+    /// scheduler state of the wrong shape for the configured policy.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.take_count(8)?;
+        if n != self.queues.len() {
+            return Err(CkptError::Invalid(format!(
+                "checkpoint has {n} tenant queues, frontend has {}",
+                self.queues.len()
+            )));
+        }
+        for q in &mut self.queues {
+            let len = r.take_count(IoRequest::CKPT_MIN_BYTES)?;
+            let mut fifo = VecDeque::with_capacity(len);
+            for _ in 0..len {
+                fifo.push_back(IoRequest::ckpt_load(r)?);
+            }
+            q.fifo = fifo;
+        }
+        let words = r.take_count(16)?;
+        let mut state = Vec::with_capacity(words);
+        for _ in 0..words {
+            state.push(r.take_u128()?);
+        }
+        self.scheduler
+            .import_state(&state)
+            .map_err(CkptError::Invalid)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use nssd_sim::SimTime;
+use nssd_sim::{CkptError, CkptReader, CkptWriter, SimTime};
 
 /// Host operation kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,6 +77,46 @@ impl IoRequest {
             len,
             at,
         }
+    }
+
+    /// Serializes the request.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_u8(match self.op {
+            IoOp::Read => 0,
+            IoOp::Write => 1,
+        });
+        w.put_u64(self.offset);
+        w.put_u32(self.len);
+        w.put_time(self.at);
+    }
+
+    /// Minimum serialized size of one request, for pre-allocation caps.
+    pub const CKPT_MIN_BYTES: usize = 1 + 8 + 4 + 8;
+
+    /// Decodes a request saved by [`IoRequest::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, an unknown operation tag, or a
+    /// zero-length request.
+    pub fn ckpt_load(r: &mut CkptReader) -> Result<IoRequest, CkptError> {
+        let op = match r.take_u8()? {
+            0 => IoOp::Read,
+            1 => IoOp::Write,
+            t => return Err(CkptError::Invalid(format!("unknown io op tag {t}"))),
+        };
+        let offset = r.take_u64()?;
+        let len = r.take_u32()?;
+        if len == 0 {
+            return Err(CkptError::Invalid("zero-length request".into()));
+        }
+        let at = r.take_time()?;
+        Ok(IoRequest {
+            op,
+            offset,
+            len,
+            at,
+        })
     }
 
     /// The `(first_page, page_count)` the request touches for a given page

@@ -40,7 +40,7 @@ use std::collections::HashMap;
 
 use nssd_flash::{Geometry, Pbn, Ppn};
 use nssd_ftl::{Ftl, Lpn, Relocation};
-use nssd_sim::{SimTime, ViolationLog};
+use nssd_sim::{ckpt, CkptError, CkptReader, CkptWriter, SimTime, ViolationLog};
 
 const UNMAPPED: u64 = u64::MAX;
 
@@ -312,6 +312,96 @@ impl Oracle {
             }
         }
         h
+    }
+
+    /// Serializes the shadow model: page maps, content tokens, write
+    /// counters, physical shadow content (sorted by raw PPN for
+    /// determinism), the erase-count snapshot, and the violation log.
+    /// Geometry and logical-page count are not written — restore targets an
+    /// [`Oracle::new`]-built instance of the same shape.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        ckpt::put_u64_slice(w, &self.l2p);
+        ckpt::put_u64_slice(w, &self.token);
+        ckpt::put_u64_slice(w, &self.writes);
+        let mut phys: Vec<(u64, (u64, u64))> = self.phys.iter().map(|(&k, &v)| (k, v)).collect();
+        phys.sort_unstable_by_key(|&(k, _)| k);
+        w.put_usize(phys.len());
+        for (ppn, (lpn, tok)) in phys {
+            w.put_u64(ppn);
+            w.put_u64(lpn);
+            w.put_u64(tok);
+        }
+        w.put_usize(self.last_erase_counts.len());
+        for &c in &self.last_erase_counts {
+            w.put_u32(c);
+        }
+        w.put_u64(self.write_seq);
+        w.put_u64(self.checks);
+        self.log.ckpt_save(w);
+    }
+
+    /// Restores state saved by [`Oracle::ckpt_save`] into a shadow model of
+    /// the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a dimension mismatch, or physical
+    /// shadow entries referencing out-of-range pages.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let logical = self.logical_pages as usize;
+        let l2p = ckpt::take_u64_vec_exact(r, logical, "oracle l2p")?;
+        let token = ckpt::take_u64_vec_exact(r, logical, "oracle tokens")?;
+        let writes = ckpt::take_u64_vec_exact(r, logical, "oracle write counts")?;
+        let page_count = self.geometry.page_count();
+        let n = r.take_count(24)?;
+        let mut phys = HashMap::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let ppn = r.take_u64()?;
+            let lpn = r.take_u64()?;
+            let tok = r.take_u64()?;
+            if ppn >= page_count {
+                return Err(CkptError::Invalid(format!(
+                    "oracle shadow ppn{ppn} beyond device capacity {page_count}"
+                )));
+            }
+            if lpn >= self.logical_pages {
+                return Err(CkptError::Invalid(format!(
+                    "oracle shadow owner lpn{lpn} beyond logical space {}",
+                    self.logical_pages
+                )));
+            }
+            if prev.is_some_and(|p| p >= ppn) {
+                return Err(CkptError::Invalid(
+                    "oracle shadow pages not strictly sorted".into(),
+                ));
+            }
+            prev = Some(ppn);
+            phys.insert(ppn, (lpn, tok));
+        }
+        let blocks = r.take_count(4)?;
+        if blocks != self.last_erase_counts.len() {
+            return Err(CkptError::Invalid(format!(
+                "oracle erase snapshot for {blocks} blocks, device has {}",
+                self.last_erase_counts.len()
+            )));
+        }
+        let mut last_erase_counts = Vec::with_capacity(blocks);
+        for _ in 0..blocks {
+            last_erase_counts.push(r.take_u32()?);
+        }
+        let write_seq = r.take_u64()?;
+        let checks = r.take_u64()?;
+        let log = ViolationLog::ckpt_load(r)?;
+        self.l2p = l2p;
+        self.token = token;
+        self.writes = writes;
+        self.phys = phys;
+        self.last_erase_counts = last_erase_counts;
+        self.write_seq = write_seq;
+        self.checks = checks;
+        self.log = log;
+        Ok(())
     }
 
     /// The violation log accumulated so far.

@@ -9,7 +9,7 @@
 
 use core::fmt;
 
-use crate::SimTime;
+use crate::{CkptError, CkptReader, CkptWriter, SimTime};
 
 /// One recorded invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +97,53 @@ impl ViolationLog {
             out.push(format!("... and {} more violations dropped", self.dropped));
         }
         out
+    }
+
+    /// Serializes the stored violations and the overflow counter.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_u64(self.dropped);
+        w.put_usize(self.violations.len());
+        for v in &self.violations {
+            w.put_str(v.invariant);
+            w.put_time(v.at);
+            w.put_str(&v.detail);
+        }
+    }
+
+    /// Decodes a log written by [`ViolationLog::ckpt_save`].
+    ///
+    /// Invariant names are interned with `Box::leak` to restore the
+    /// `&'static str` field; the log's [`ViolationLog::CAPACITY`] cap
+    /// bounds the total leaked memory, and violation-carrying checkpoints
+    /// are a diagnostic path (a clean run's log is empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a count beyond the capacity cap.
+    pub fn ckpt_load(r: &mut CkptReader) -> Result<ViolationLog, CkptError> {
+        let dropped = r.take_u64()?;
+        let n = r.take_count(1)?;
+        if n > Self::CAPACITY {
+            return Err(CkptError::Invalid(format!(
+                "{n} stored violations exceed the capacity cap ({})",
+                Self::CAPACITY
+            )));
+        }
+        let mut violations = Vec::with_capacity(n);
+        for _ in 0..n {
+            let invariant: &'static str = Box::leak(r.take_string()?.into_boxed_str());
+            let at = r.take_time()?;
+            let detail = r.take_string()?;
+            violations.push(Violation {
+                invariant,
+                at,
+                detail,
+            });
+        }
+        Ok(ViolationLog {
+            violations,
+            dropped,
+        })
     }
 }
 

@@ -8,7 +8,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::SimTime;
+use crate::{CkptError, CkptReader, CkptWriter, SimTime};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Key {
@@ -140,6 +140,66 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Serializes the queue. Pending events are written in pop order
+    /// (time, then FIFO sequence), each encoded by `enc`; the sequence
+    /// counters are saved so a restored queue schedules future events with
+    /// exactly the tiebreak ordering the continuous run would have used.
+    pub fn ckpt_save(&self, w: &mut CkptWriter, mut enc: impl FnMut(&mut CkptWriter, &E)) {
+        w.put_u64(self.next_seq);
+        w.put_u64(self.scheduled_total);
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| e.key);
+        w.put_usize(entries.len());
+        for e in entries {
+            w.put_time(e.key.at);
+            enc(w, &e.event);
+        }
+    }
+
+    /// Restores the queue from [`EventQueue::ckpt_save`] output, decoding
+    /// each event with `dec`. Any existing pending events are dropped.
+    ///
+    /// Re-scheduling in saved pop order assigns fresh sequence numbers
+    /// `0..n` that preserve the relative FIFO order; the saved `next_seq`
+    /// (≥ n by construction) is then restored so events scheduled after
+    /// resume sort behind all restored ones, exactly as in the continuous
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, unsorted event times, or sequence
+    /// counters inconsistent with the pending-event count.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut CkptReader,
+        mut dec: impl FnMut(&mut CkptReader) -> Result<E, CkptError>,
+    ) -> Result<(), CkptError> {
+        let next_seq = r.take_u64()?;
+        let scheduled_total = r.take_u64()?;
+        let n = r.take_count(8)?;
+        if (n as u64) > next_seq || (n as u64) > scheduled_total {
+            return Err(CkptError::Invalid(format!(
+                "{n} pending events but only {next_seq} ever scheduled"
+            )));
+        }
+        self.heap.clear();
+        self.next_seq = 0;
+        self.scheduled_total = 0;
+        let mut prev = SimTime::ZERO;
+        for _ in 0..n {
+            let at = r.take_time()?;
+            if at < prev {
+                return Err(CkptError::Invalid("event times not sorted".into()));
+            }
+            prev = at;
+            let event = dec(r)?;
+            self.schedule(at, event);
+        }
+        self.next_seq = next_seq;
+        self.scheduled_total = scheduled_total;
+        Ok(())
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -196,6 +256,45 @@ mod tests {
         assert_eq!(q.scheduled_total(), 2);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ckpt_round_trip_preserves_order_and_counters() {
+        let mut q = EventQueue::new();
+        for &t in &[5u64, 3, 3, 9, 3, 1] {
+            q.schedule(SimTime::from_ns(t), t as u32);
+        }
+        q.pop(); // consume one so next_seq > len
+        let mut w = CkptWriter::new();
+        q.ckpt_save(&mut w, |w, e| w.put_u32(*e));
+        let bytes = w.into_bytes();
+
+        let mut back: EventQueue<u32> = EventQueue::new();
+        let mut r = CkptReader::new(&bytes);
+        back.ckpt_load(&mut r, |r| r.take_u32()).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.scheduled_total(), q.scheduled_total());
+        // Future events must sort behind restored same-time ones.
+        back.schedule(SimTime::from_ns(3), 777);
+        q.schedule(SimTime::from_ns(3), 777);
+        let a: Vec<_> = std::iter::from_fn(|| back.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ckpt_load_rejects_inconsistent_counters() {
+        let mut w = CkptWriter::new();
+        w.put_u64(0); // next_seq
+        w.put_u64(0); // scheduled_total
+        w.put_u64(1); // one pending event...
+        w.put_u64(5); // ...at t=5
+        w.put_u32(9);
+        let bytes = w.into_bytes();
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let err = q.ckpt_load(&mut CkptReader::new(&bytes), |r| r.take_u32());
+        assert!(err.is_err());
     }
 
     #[test]

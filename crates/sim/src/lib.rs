@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod check;
+pub mod ckpt;
 mod event;
 mod pool;
 mod resource;
@@ -61,6 +62,9 @@ mod time;
 mod util;
 
 pub use check::{Violation, ViolationLog};
+pub use ckpt::{
+    put_u64_slice, take_u64_vec, take_u64_vec_exact, CkptError, CkptReader, CkptWriter,
+};
 pub use event::EventQueue;
 pub use pool::{jobs_from_env, scoped_map, Pool};
 pub use resource::{BandwidthPipe, Reservation, Resource};

@@ -9,7 +9,7 @@
 //! first-come-first-served by ready time, which is exactly how a flash bus
 //! with controller-driven arbitration behaves.
 
-use crate::{SimTime, UtilizationRecorder};
+use crate::{CkptError, CkptReader, CkptWriter, SimTime, UtilizationRecorder};
 
 /// A granted interval on a [`Resource`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,6 +158,44 @@ impl Resource {
             ..Resource::default()
         };
     }
+
+    /// Serializes the reservation horizon, accounting counters, and (if
+    /// attached) the recorder's accumulated bins.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_time(self.next_free);
+        w.put_time(self.busy_total);
+        w.put_u64(self.reservations);
+        w.put_bool(self.recorder.is_some());
+        if let Some(rec) = &self.recorder {
+            rec.ckpt_save(w);
+        }
+    }
+
+    /// Restores state saved by [`Resource::ckpt_save`] into a resource
+    /// constructed with the same recorder configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or if recorder presence/configuration
+    /// differs from this resource's construction.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let next_free = r.take_time()?;
+        let busy_total = r.take_time()?;
+        let reservations = r.take_u64()?;
+        let has_recorder = r.take_bool()?;
+        if has_recorder != self.recorder.is_some() {
+            return Err(CkptError::Invalid(
+                "recorder presence differs from configuration".into(),
+            ));
+        }
+        if let Some(rec) = &mut self.recorder {
+            rec.ckpt_load(r)?;
+        }
+        self.next_free = next_free;
+        self.busy_total = busy_total;
+        self.reservations = reservations;
+        Ok(())
+    }
 }
 
 /// A resource with a byte bandwidth, converting transfer sizes to durations.
@@ -221,6 +259,20 @@ impl BandwidthPipe {
     /// Mutable access to the underlying FIFO resource.
     pub fn resource_mut(&mut self) -> &mut Resource {
         &mut self.resource
+    }
+
+    /// Serializes the underlying resource (bandwidth is configuration).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        self.resource.ckpt_save(w);
+    }
+
+    /// Restores the underlying resource state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or configuration mismatch.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.resource.ckpt_load(r)
     }
 }
 

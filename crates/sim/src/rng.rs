@@ -164,6 +164,17 @@ impl DetRng {
     pub fn fork(&mut self) -> Self {
         DetRng::seed_from_u64(self.next_u64())
     }
+
+    /// The four xoshiro256** state words, for checkpointing. Restoring via
+    /// [`DetRng::from_state`] resumes the stream exactly.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from state words captured by [`DetRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        DetRng { s }
+    }
 }
 
 impl Rng for DetRng {

@@ -7,7 +7,7 @@
 //! memory regardless of sample count. [`RunningStats`] is a Welford
 //! mean/variance accumulator for scalar series.
 
-use crate::SimTime;
+use crate::{CkptError, CkptReader, CkptWriter, SimTime};
 
 const LINEAR_LIMIT: u64 = 64;
 const SUB_BUCKETS: u64 = 32;
@@ -175,6 +175,115 @@ impl Histogram {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
+    }
+
+    /// The samples recorded in `self` but not yet in `earlier` (an older
+    /// snapshot of the same histogram), as a new histogram. Used by the
+    /// lifetime experiment to report per-segment tail latency from a
+    /// cumulative histogram.
+    ///
+    /// The delta's min/max are recovered at bucket resolution (the exact
+    /// extremes of the intermediate samples are not retained), clamped into
+    /// the observed range of `self`.
+    ///
+    /// Returns `None` if `earlier` is not a prefix of `self` (some bucket
+    /// or total would go negative).
+    pub fn delta_since(&self, earlier: &Histogram) -> Option<Histogram> {
+        let mut d = Histogram::new();
+        for (i, (&a, &b)) in self.counts.iter().zip(&earlier.counts).enumerate() {
+            d.counts[i] = a.checked_sub(b)?;
+        }
+        d.count = self.count.checked_sub(earlier.count)?;
+        d.sum = self.sum.checked_sub(earlier.sum)?;
+        if d.count > 0 {
+            let lo = d.counts.iter().position(|&c| c > 0).expect("count > 0");
+            let hi = d.counts.iter().rposition(|&c| c > 0).expect("count > 0");
+            d.min = bucket_value(lo).clamp(self.min, self.max);
+            d.max = bucket_value(hi).clamp(d.min, self.max);
+        }
+        Some(d)
+    }
+
+    /// Serializes the histogram: exact summary fields plus a sparse
+    /// `(bucket, count)` list of non-empty buckets.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_u64(self.count);
+        w.put_u128(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+        let nonzero = self.counts.iter().filter(|&&c| c > 0).count();
+        w.put_usize(nonzero);
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                w.put_u32(idx as u32);
+                w.put_u64(c);
+            }
+        }
+    }
+
+    /// Decodes a histogram written by [`Histogram::ckpt_save`], validating
+    /// bucket indices, ordering, and count conservation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or any internal inconsistency.
+    pub fn ckpt_load(r: &mut CkptReader) -> Result<Histogram, CkptError> {
+        let count = r.take_u64()?;
+        let sum = r.take_u128()?;
+        let min = r.take_u64()?;
+        let max = r.take_u64()?;
+        let n = r.take_count(12)?;
+        if n > BUCKETS {
+            return Err(CkptError::Invalid(format!(
+                "histogram has {n} non-empty buckets, max {BUCKETS}"
+            )));
+        }
+        let mut h = Histogram::new();
+        let mut prev: Option<u32> = None;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let idx = r.take_u32()?;
+            if idx as usize >= BUCKETS {
+                return Err(CkptError::Invalid(format!(
+                    "bucket index {idx} out of range"
+                )));
+            }
+            if prev.is_some_and(|p| idx <= p) {
+                return Err(CkptError::Invalid(format!(
+                    "bucket indices not strictly increasing at {idx}"
+                )));
+            }
+            prev = Some(idx);
+            let c = r.take_u64()?;
+            if c == 0 {
+                return Err(CkptError::Invalid(format!(
+                    "bucket {idx} stored with zero count"
+                )));
+            }
+            total = total
+                .checked_add(c)
+                .ok_or_else(|| CkptError::Invalid("bucket counts overflow".into()))?;
+            h.counts[idx as usize] = c;
+        }
+        if total != count {
+            return Err(CkptError::Invalid(format!(
+                "bucket counts sum to {total}, header says {count}"
+            )));
+        }
+        if count == 0 {
+            if min != u64::MAX || max != 0 || sum != 0 {
+                return Err(CkptError::Invalid(
+                    "empty histogram with nonzero summary fields".into(),
+                ));
+            }
+        } else if min > max {
+            return Err(CkptError::Invalid(format!("min {min} exceeds max {max}")));
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Ok(h)
     }
 }
 
@@ -401,6 +510,58 @@ mod tests {
         assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
         assert!(h.cdf_points().len() <= 5);
         assert!(Histogram::new().cdf_points().is_empty());
+    }
+
+    #[test]
+    fn histogram_ckpt_round_trip() {
+        let mut h = Histogram::new();
+        for us in [1u64, 5, 5, 20, 100, 100_000] {
+            h.record(SimTime::from_us(us));
+        }
+        let mut w = CkptWriter::new();
+        h.ckpt_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = CkptReader::new(&bytes);
+        let back = Histogram::ckpt_load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.counts, h.counts);
+        assert_eq!(back.count, h.count);
+        assert_eq!(back.sum, h.sum);
+        assert_eq!(back.min, h.min);
+        assert_eq!(back.max, h.max);
+
+        let mut w = CkptWriter::new();
+        Histogram::new().ckpt_save(&mut w);
+        let bytes = w.into_bytes();
+        let back = Histogram::ckpt_load(&mut CkptReader::new(&bytes)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn histogram_ckpt_rejects_count_mismatch() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_us(3));
+        let mut w = CkptWriter::new();
+        h.ckpt_save(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt the total-count header (first 8 bytes).
+        bytes[0] ^= 1;
+        assert!(Histogram::ckpt_load(&mut CkptReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn histogram_delta_since_isolates_new_samples() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_us(10));
+        let snap = h.clone();
+        h.record(SimTime::from_us(500));
+        h.record(SimTime::from_us(501));
+        let d = h.delta_since(&snap).unwrap();
+        assert_eq!(d.count(), 2);
+        let p50 = d.percentile(50.0).as_us_f64();
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "delta p50 was {p50}us");
+        // Reversed arguments are not a prefix.
+        assert!(snap.delta_since(&h).is_none());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! intervals granted by a [`crate::Resource`] into fixed-width time windows,
 //! with a separate accumulator per traffic tag.
 
-use crate::SimTime;
+use crate::{ckpt, CkptError, CkptReader, CkptWriter, SimTime};
 
 /// Accumulates busy nanoseconds into `(window, tag)` bins.
 ///
@@ -130,6 +130,47 @@ impl UtilizationRecorder {
     /// (padding with zeros past the recorded range).
     pub fn fractions(&self, tag: usize, n: usize) -> Vec<f64> {
         (0..n).map(|w| self.fraction(w, tag)).collect()
+    }
+
+    /// Serializes the window/tag configuration and accumulated bins.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.put_time(self.window);
+        w.put_usize(self.tags);
+        ckpt::put_u64_slice(w, &self.bins);
+        ckpt::put_u64_slice(w, &self.totals);
+    }
+
+    /// Restores bins saved by [`UtilizationRecorder::ckpt_save`] into a
+    /// recorder with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a window/tag configuration mismatch,
+    /// or a bins array that is not a whole number of windows.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let window = r.take_time()?;
+        let tags = r.take_usize()?;
+        if window != self.window || tags != self.tags {
+            return Err(CkptError::Invalid(format!(
+                "recorder shape ({} ns × {tags} tags) differs from configuration \
+                 ({} ns × {} tags)",
+                window.as_ns(),
+                self.window.as_ns(),
+                self.tags
+            )));
+        }
+        let bins = ckpt::take_u64_vec(r)?;
+        if bins.len() % self.tags != 0 {
+            return Err(CkptError::Invalid(format!(
+                "recorder bins ({}) not a multiple of tags ({})",
+                bins.len(),
+                self.tags
+            )));
+        }
+        let totals = ckpt::take_u64_vec_exact(r, self.tags, "recorder totals")?;
+        self.bins = bins;
+        self.totals = totals;
+        Ok(())
     }
 }
 

@@ -1,0 +1,332 @@
+//! Bounded-memory windowed streaming latency statistics.
+//!
+//! [`WindowedStats`] answers "what were p50/p99/p99.9 over the most recent
+//! traffic" without retaining raw samples: completions stream into a ring of
+//! count-based windows, each a coarse log-linear histogram, and queries merge
+//! the retained windows. Memory is fixed at construction — `retain + 1`
+//! windows of [`WINDOW_BUCKETS`] counters — no matter how many months of
+//! simulated traffic stream through, which is what lets the device-lifetime
+//! experiment track tail-latency drift across billions of completions.
+//!
+//! The coarse histograms use 8 sub-buckets per octave (the exact
+//! [`nssd_sim::Histogram`] uses 32), so every quantile estimate is within one
+//! bucket of the true order statistic of the retained samples:
+//! a relative error of at most [`STREAMING_ERROR_BOUND`] (12.5%), and half
+//! that in the common case since bucket midpoints are reported. Ranks
+//! themselves are exact — only the reported representative value is
+//! quantized.
+//!
+//! Deep tails honor the same small-sample discipline as the exact path:
+//! [`WindowedStats::percentile`] returns `None` whenever the retained sample
+//! count fails [`tail_resolvable`], instead of aliasing the maximum.
+
+use std::collections::VecDeque;
+
+use nssd_sim::SimTime;
+
+use crate::stats::tail_resolvable;
+
+/// Worst-case relative error of a [`WindowedStats`] quantile versus the
+/// exact order statistic of the retained samples: one coarse bucket width,
+/// `1/8` of the value, from 8 sub-buckets per octave.
+pub const STREAMING_ERROR_BOUND: f64 = 0.125;
+
+const LINEAR_LIMIT: u64 = 64;
+const SUB_BUCKETS: u64 = 8;
+/// Counters per window: 64 exact sub-64 ns buckets plus 8 sub-buckets for
+/// each of the 58 octaves above 2^6.
+pub const WINDOW_BUCKETS: usize = 64 + 58 * 8;
+
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64; // >= 6
+        let octave = msb - 5; // 1-based octave beyond the linear range
+        let sub = (v >> (msb - 3)) - SUB_BUCKETS; // in [0, 8)
+        (LINEAR_LIMIT + (octave - 1) * SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// Midpoint of the value range covered by bucket `idx`.
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_LIMIT {
+        idx
+    } else {
+        let rel = idx - LINEAR_LIMIT;
+        let octave = rel / SUB_BUCKETS + 1;
+        let sub = rel % SUB_BUCKETS;
+        let width = 1u64 << (octave + 2);
+        let lower = (1u64 << (octave + 5)) + sub * width;
+        lower + width / 2
+    }
+}
+
+/// One count-based window of coarse latency buckets.
+#[derive(Debug, Clone)]
+struct Window {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Window {
+    fn new() -> Self {
+        Window {
+            counts: vec![0; WINDOW_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// Streaming quantile estimator over a sliding window of the most recent
+/// completions, in memory bounded at construction time.
+///
+/// Samples fill count-based windows of `window_len` each; once more than
+/// `retain` windows are full, the oldest is evicted wholesale. Queries see
+/// the retained suffix of the stream: between `retain × window_len` and
+/// `(retain + 1) × window_len` of the most recent samples.
+///
+/// # Examples
+///
+/// ```
+/// use nssd_sim::SimTime;
+/// use nssd_workloads::{WindowedStats, STREAMING_ERROR_BOUND};
+///
+/// let mut w = WindowedStats::new(1000, 4);
+/// for us in 1..=2000u64 {
+///     w.record(SimTime::from_us(us));
+/// }
+/// let p50 = w.percentile(50.0).unwrap().as_us_f64();
+/// assert!((p50 - 1000.0).abs() / 1000.0 <= STREAMING_ERROR_BOUND);
+/// // p99.9 over 2000 retained samples resolves; over 100 it would not.
+/// assert!(w.percentile(99.9).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedStats {
+    window_len: u64,
+    retain: usize,
+    /// Back is the currently filling window; fronts are full.
+    windows: VecDeque<Window>,
+    total: u64,
+    evicted: u64,
+}
+
+impl WindowedStats {
+    /// Creates an estimator holding up to `retain` full windows of
+    /// `window_len` samples each, plus the window currently filling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` or `retain` is zero.
+    pub fn new(window_len: u64, retain: usize) -> Self {
+        assert!(window_len > 0, "window_len must be positive");
+        assert!(retain > 0, "retain must be positive");
+        let mut windows = VecDeque::with_capacity(retain + 1);
+        windows.push_back(Window::new());
+        WindowedStats {
+            window_len,
+            retain,
+            windows,
+            total: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: SimTime) {
+        if self.windows.back().expect("never empty").count == self.window_len {
+            self.windows.push_back(Window::new());
+            if self.windows.len() > self.retain + 1 {
+                let old = self.windows.pop_front().expect("len > 1");
+                self.evicted += old.count;
+            }
+        }
+        self.windows
+            .back_mut()
+            .expect("never empty")
+            .record(sample.as_ns());
+        self.total += 1;
+    }
+
+    /// Samples currently retained (the sliding window the queries see).
+    pub fn retained(&self) -> u64 {
+        self.total - self.evicted
+    }
+
+    /// Samples recorded over the estimator's lifetime.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples that have aged out of the retained window.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Samples per window, as configured.
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// Exact mean of the retained samples; [`SimTime::ZERO`] when empty.
+    pub fn mean(&self) -> SimTime {
+        let count = self.retained();
+        if count == 0 {
+            return SimTime::ZERO;
+        }
+        let sum: u128 = self.windows.iter().map(|w| w.sum).sum();
+        SimTime::from_ns((sum / count as u128) as u64)
+    }
+
+    /// Exact maximum of the retained samples; [`SimTime::ZERO`] when empty.
+    pub fn max(&self) -> SimTime {
+        SimTime::from_ns(self.windows.iter().map(|w| w.max).max().unwrap_or(0))
+    }
+
+    /// The `p`-th percentile of the retained samples, within
+    /// [`STREAMING_ERROR_BOUND`] of the exact order statistic.
+    ///
+    /// Returns `None` when the retained count cannot resolve `p` as its own
+    /// order statistic (see [`tail_resolvable`]) — a p99.9 over 50 retained
+    /// samples is an alias for the maximum, not a measurement, and is
+    /// refused rather than reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p ≤ 100`.
+    pub fn percentile(&self, p: f64) -> Option<SimTime> {
+        assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
+        let count = self.retained();
+        if !tail_resolvable(count, p) {
+            return None;
+        }
+        let min = self.windows.iter().map(|w| w.min).min().unwrap_or(u64::MAX);
+        let max = self.windows.iter().map(|w| w.max).max().unwrap_or(0);
+        let rank = ((p / 100.0) * count as f64).ceil() as u64;
+        let rank = rank.clamp(1, count);
+        let mut seen = 0u64;
+        for idx in 0..WINDOW_BUCKETS {
+            seen += self.windows.iter().map(|w| w.counts[idx]).sum::<u64>();
+            if seen >= rank {
+                return Some(SimTime::from_ns(bucket_value(idx).clamp(min, max)));
+            }
+        }
+        Some(SimTime::from_ns(max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::exact_percentile;
+
+    #[test]
+    fn bucket_index_monotone_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            assert!(idx < WINDOW_BUCKETS);
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < WINDOW_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_value_within_the_documented_bound() {
+        for &v in &[64u64, 100, 1_000, 12_345, 1_000_000, 987_654_321] {
+            let rep = bucket_value(bucket_index(v));
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(
+                err <= STREAMING_ERROR_BOUND,
+                "value {v} represented as {rep} (err {err})"
+            );
+        }
+        for v in 0..LINEAR_LIMIT {
+            assert_eq!(bucket_value(bucket_index(v)), v, "linear range not exact");
+        }
+    }
+
+    #[test]
+    fn small_samples_refuse_the_deep_tail() {
+        let mut w = WindowedStats::new(64, 4);
+        for us in 1..=50u64 {
+            w.record(SimTime::from_us(us));
+        }
+        assert_eq!(w.percentile(99.0), None, "p99 over 50 samples is the max");
+        assert_eq!(w.percentile(99.9), None);
+        assert!(w.percentile(50.0).is_some());
+        assert_eq!(WindowedStats::new(64, 4).percentile(50.0), None);
+    }
+
+    #[test]
+    fn eviction_slides_the_window() {
+        let mut w = WindowedStats::new(100, 2);
+        // 1000 samples at 1 µs, then 300 at 1 ms: the retained suffix
+        // (200–300 most recent) is entirely in the 1 ms regime.
+        for _ in 0..1000 {
+            w.record(SimTime::from_us(1));
+        }
+        for _ in 0..300 {
+            w.record(SimTime::from_ms(1));
+        }
+        assert!(w.retained() <= 300);
+        assert!(w.evicted() >= 1000);
+        assert_eq!(w.total_recorded(), 1300);
+        let p50 = w.percentile(50.0).unwrap().as_us_f64();
+        assert!(
+            (p50 - 1000.0).abs() / 1000.0 <= STREAMING_ERROR_BOUND,
+            "p50 {p50}µs still sees evicted samples"
+        );
+    }
+
+    #[test]
+    fn agrees_with_exact_percentiles_on_a_ramp() {
+        let mut w = WindowedStats::new(10_000, 1);
+        let samples: Vec<SimTime> = (1..=5000u64).map(SimTime::from_us).collect();
+        for &s in &samples {
+            w.record(s);
+        }
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let exact = exact_percentile(&samples, p).unwrap().as_ns() as f64;
+            let est = w.percentile(p).unwrap().as_ns() as f64;
+            assert!(
+                (est - exact).abs() / exact <= STREAMING_ERROR_BOUND,
+                "p{p}: streaming {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_configuration() {
+        let mut w = WindowedStats::new(10, 3);
+        for i in 0..100_000u64 {
+            w.record(SimTime::from_ns(i % 7_000));
+        }
+        assert!(w.windows.len() <= 4, "ring grew past retain + 1");
+        assert!(w.retained() <= 40);
+        assert_eq!(w.total_recorded(), 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "window_len")]
+    fn zero_window_rejected() {
+        WindowedStats::new(0, 1);
+    }
+}

@@ -44,6 +44,23 @@ echo "==> tenant interference smoke"
 # all three schedulers, and the per-tenant report path end-to-end.
 NSSD_TENANT_REQUESTS=200 cargo run --release -q -p nssd-bench --bin tenants
 
+echo "==> endurance lifetime smoke"
+# A short segmented endurance run per architecture: exercises checkpoint
+# save/resume at every segment boundary (the bin asserts save∘resume is
+# byte-identical), wear accounting, and the windowed tail estimator, and
+# leaves target/lifetime.json as a build artifact.
+cargo run --release -q -p nssd-bench --bin lifetime -- --smoke
+python3 - <<'EOF'
+import json
+d = json.load(open('target/lifetime.json'))
+assert d['experiment'] == 'lifetime', d
+assert len(d['architectures']) == 4, d
+for arch in d['architectures']:
+    assert arch['segments'], arch['architecture']
+    for seg in arch['segments']:
+        assert seg['ckpt_bytes'] > 0 and seg['completed'] > 0, seg
+EOF
+
 echo "==> oracle mutation self-test"
 # Plants a corrupted mapping entry and a dropped GC copy; the shadow oracle
 # must flag both, or the invariant layer has gone blind.
