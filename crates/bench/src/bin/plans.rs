@@ -1,0 +1,78 @@
+//! Composed-GC-plan ablation sweep: the full victim × placement ×
+//! preemption grid on pnSSD(+split) over the YCSB-A trace, fanned across
+//! the worker pool.
+//!
+//! Prints the ablation table to stdout and writes a machine-readable record
+//! per plan (latency, GC accounting, write amplification, wear spread) to
+//! `target/plans.json`.
+//!
+//! Usage: `plans [--smoke] [--out <path>]`
+
+use std::fmt::Write as _;
+
+use nssd_bench::gc_experiments::{plan_ablation_reports, plan_grid};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "target/plans.json".into());
+    let requests = if smoke {
+        1_500
+    } else {
+        nssd_bench::setup::gc_requests_per_run()
+    };
+
+    eprintln!(
+        ">>> plan ablation: {} plans x {requests} requests",
+        plan_grid().len()
+    );
+    let reports = plan_ablation_reports(requests);
+
+    let base_mean = reports[0].1.all.mean.as_ns() as f64;
+    let mut json = String::from("{\n  \"experiment\": \"plan_ablation\",\n  \"plans\": [\n");
+    for (i, (spec, r)) in reports.iter().enumerate() {
+        let mean = r.all.mean.as_ns() as f64;
+        println!(
+            "{:<22} mean {:>8.1} µs  p99 {:>8.1} µs  ({:.2}x vs PaGC tuple)  gc {:>3}  \
+             copied {:>5}  wear spread {}",
+            spec.to_string(),
+            mean / 1e3,
+            r.all.p99.as_ns() as f64 / 1e3,
+            base_mean / mean.max(1.0),
+            r.gc.events,
+            r.gc.pages_copied,
+            r.wear.spread(),
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"plan\": \"{spec}\", \"mean_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"speedup_vs_pagc\": {:.4}, \"gc_events\": {}, \"pages_copied\": {}, \
+             \"blocks_erased\": {}, \"write_amp\": {:.4}, \"wear_min\": {}, \"wear_max\": {}, \
+             \"wear_spread\": {}}}{}",
+            mean / 1e3,
+            r.all.p99.as_ns() as f64 / 1e3,
+            base_mean / mean.max(1.0),
+            r.gc.events,
+            r.gc.pages_copied,
+            r.gc.blocks_erased,
+            r.ftl.write_amplification(),
+            r.wear.min,
+            r.wear.max,
+            r.wear.spread(),
+            if i + 1 < reports.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write plan ablation report");
+    eprintln!("wrote {out_path}");
+}

@@ -5,7 +5,10 @@ use std::sync::OnceLock;
 use nssd_core::{
     run_closed_loop_preconditioned, run_trace_preconditioned, Architecture, SimReport,
 };
-use nssd_ftl::GcPolicy;
+use nssd_ftl::{
+    GcPlanSpec, GcPolicy, PlacementSpec, PreemptionSpec, TriggerSpec, VictimSpec,
+    DEFAULT_WEAR_WEIGHT,
+};
 use nssd_workloads::{PaperWorkload, SyntheticPattern, SyntheticSpec};
 
 use crate::experiments::Experiment;
@@ -238,6 +241,103 @@ pub fn fig20a_tail_latency() -> Experiment {
             "p99 reduction of pnSSD(+split)+SpGC vs baseSSD+PaGC: {} (paper: 18.7x)",
             fmt_ratio(base.all.p99.as_ns() as f64 / pn.as_ns().max(1) as f64)
         )],
+    }
+}
+
+/// The full composed-plan grid: victim scorer × placement × preemption,
+/// every combination assembled from components (the watermark trigger is
+/// the only trigger family). Row one is the legacy PaGC tuple — the
+/// normalization baseline of [`plan_ablation`].
+pub fn plan_grid() -> Vec<GcPlanSpec> {
+    let mut grid = Vec::new();
+    for victim in [
+        VictimSpec::Greedy,
+        VictimSpec::WearAware {
+            wear_weight: DEFAULT_WEAR_WEIGHT,
+        },
+    ] {
+        for placement in [
+            PlacementSpec::Unconstrained,
+            PlacementSpec::Spatial,
+            PlacementSpec::HotCold,
+        ] {
+            for preemption in [PreemptionSpec::RunToCompletion, PreemptionSpec::YieldToIo] {
+                grid.push(GcPlanSpec {
+                    victim,
+                    trigger: TriggerSpec::Watermark,
+                    placement,
+                    preemption,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Runs the composed-plan grid on the paper's pnSSD(+split) over the YCSB-A
+/// trace at the given request budget, fanned across the worker pool. Shared
+/// by the `plans` binary and [`plan_ablation`].
+pub fn plan_ablation_reports(requests: usize) -> Vec<(GcPlanSpec, SimReport)> {
+    let grid = plan_grid();
+    let jobs: Vec<_> = grid
+        .iter()
+        .map(|&spec| {
+            move || {
+                let mut cfg = setup::gc_config(Architecture::PnSsdSplit, GcPolicy::Parallel);
+                cfg.gc.plan = Some(spec);
+                let trace = PaperWorkload::YcsbA.generate(
+                    requests,
+                    setup::gc_footprint(&cfg),
+                    setup::EXPERIMENT_SEED ^ 0x91AA,
+                );
+                run_trace_preconditioned(cfg, trace, setup::GC_FILL, setup::GC_OVERWRITE)
+                    .expect("plan ablation run")
+            }
+        })
+        .collect();
+    grid.into_iter().zip(nssd_sim::scoped_map(jobs)).collect()
+}
+
+/// Composed-plan ablation: the victim × placement × preemption grid on
+/// pnSSD(+split), normalized to the greedy/unconstrained/run-to-completion
+/// tuple (legacy PaGC).
+pub fn plan_ablation() -> Experiment {
+    let mut t = Table::new(vec![
+        "plan".to_string(),
+        "mean latency".to_string(),
+        "p99".to_string(),
+        "vs PaGC tuple".to_string(),
+        "gc events".to_string(),
+        "pages copied".to_string(),
+        "wear spread".to_string(),
+    ]);
+    let reports = plan_ablation_reports(setup::gc_requests_per_run());
+    let base_mean = reports
+        .first()
+        .map(|(_, r)| r.all.mean.as_ns() as f64)
+        .expect("grid is non-empty");
+    for (spec, r) in &reports {
+        let mean = r.all.mean.as_ns() as f64;
+        t.row(vec![
+            spec.to_string(),
+            fmt_us(mean as u64),
+            fmt_us(r.all.p99.as_ns()),
+            fmt_ratio(base_mean / mean.max(1.0)),
+            r.gc.events.to_string(),
+            r.gc.pages_copied.to_string(),
+            r.wear.spread().to_string(),
+        ]);
+    }
+    Experiment {
+        id: "Plans",
+        title: "composed GC plan ablation on pnSSD(+split), YCSB-A (normalized to PaGC tuple)",
+        tables: vec![(String::new(), t)],
+        notes: vec![
+            "victim × placement × preemption grid assembled from components; \
+             greedy-free-run is byte-identical to legacy PaGC, greedy-spatial-run to SpGC, \
+             greedy-free-yield to preemptive GC"
+                .into(),
+        ],
     }
 }
 

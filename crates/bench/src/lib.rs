@@ -49,6 +49,7 @@ pub fn all() -> Vec<NamedExperiment> {
         ("fig19", gc_experiments::fig19_gc_traces),
         ("fig20a", gc_experiments::fig20a_tail_latency),
         ("fig20b", gc_experiments::fig20b_gc_time),
+        ("plans", gc_experiments::plan_ablation),
         ("fault_sweep", reliability::fault_sweep),
         ("tenants", tenants::tenant_interference),
     ]
@@ -93,6 +94,7 @@ mod tests {
             "fig19",
             "fig20a",
             "fig20b",
+            "plans",
             "fault_sweep",
             "tenants",
         ] {

@@ -547,13 +547,8 @@ impl SsdSim {
                 requests.len()
             )));
         }
-        self.gc.ckpt_load(
-            r,
-            g.page_count(),
-            self.ftl.logical_pages(),
-            g.block_count(),
-            g.ways,
-        )?;
+        self.gc
+            .ckpt_load(r, g.page_count(), self.ftl.logical_pages(), g.block_count())?;
         let mut state = [0u64; 4];
         for word in &mut state {
             *word = r.take_u64()?;

@@ -1,21 +1,28 @@
-//! Garbage-collection execution: PaGC, semi-preemptive GC, and spatial GC.
+//! Garbage-collection execution: a composable [`GcPlan`] driving a backlog
+//! of schedulable copy packets.
 //!
 //! GC copies are timed pipelines: source command + tR, a data movement
 //! delegated to the [`super::FabricBackend`] (staged twice through the
 //! controller for bus architectures; once over a shared v-channel directly
 //! chip-to-chip for pnSSD; a direct mesh route for NoSSD), then tPROG at
-//! the destination, and finally the victim erase. The policies sequence
-//! copies; the fabric decides how bytes move.
+//! the destination, and finally the victim erase. The plan's components
+//! decide everything policy-like: the victim selector picks blocks, the
+//! trigger component arms/chains/forces events, the placement component
+//! constrains masks and routes relocation streams, and the preemption
+//! component chooses the dispatch discipline for the packet backlog. The
+//! fabric decides how bytes move.
 
 use nssd_flash::{Pbn, Ppn};
-use nssd_ftl::{FtlError, GcPolicy, Lpn, WayMask};
+use nssd_ftl::{DispatchDiscipline, FtlError, GcConfig, GcPlan, GcPlanSpec, Lpn, WayMask};
 use nssd_sim::{CkptError, CkptReader, CkptWriter, SimTime};
 
 use super::{Event, SsdSim};
 use crate::Traffic;
 
+/// One schedulable unit of GC work: relocate `lpn` away from `src`. The
+/// destination is bound mid-flight, once the copy's read completes.
 #[derive(Debug)]
-struct GcCopy {
+struct CopyPacket {
     victim: usize,
     lpn: Lpn,
     src: Ppn,
@@ -26,31 +33,28 @@ struct GcCopy {
 struct VictimState {
     pbn: Pbn,
     copies_left: u32,
-    /// This victim's slice of the global copies list.
+    /// This victim's slice of the global packet backlog.
     range_start: usize,
     range_end: usize,
-    /// Copies of this victim already handed to `launch_copy`.
+    /// Packets of this victim already handed to `launch_copy`.
     launched: usize,
 }
 
 /// Runtime state of the garbage collector.
 #[derive(Debug)]
 pub(crate) struct GcRuntime {
-    policy: GcPolicy,
+    /// The assembled plan, or `None` when GC is disabled.
+    plan: Option<GcPlan>,
     active: bool,
     started_at: SimTime,
-    copies: Vec<GcCopy>,
+    copies: Vec<CopyPacket>,
     next_copy: usize,
     outstanding: usize,
     victims: Vec<VictimState>,
     victims_left: usize,
-    /// GC-group mask while a spatial epoch is active.
-    gc_mask: Option<WayMask>,
     /// Do not re-trigger before this time after a starved (victimless)
     /// trigger.
     starved_until: SimTime,
-    /// Concurrent copies preemptive GC keeps in flight when allowed.
-    preempt_batch: usize,
     /// Whether a poll-for-gap pump is already queued (dedup).
     pump_scheduled: bool,
     pub(crate) events_completed: u64,
@@ -64,9 +68,9 @@ pub(crate) struct GcRuntime {
 }
 
 impl GcRuntime {
-    pub(crate) fn new(policy: GcPolicy) -> Self {
+    pub(crate) fn new(cfg: &GcConfig, total_ways: u32) -> Self {
         GcRuntime {
-            policy,
+            plan: GcPlan::from_config(cfg, total_ways),
             active: false,
             started_at: SimTime::ZERO,
             copies: Vec::new(),
@@ -74,9 +78,7 @@ impl GcRuntime {
             outstanding: 0,
             victims: Vec::new(),
             victims_left: 0,
-            gc_mask: None,
             starved_until: SimTime::ZERO,
-            preempt_batch: 4,
             pump_scheduled: false,
             events_completed: 0,
             total_time: SimTime::ZERO,
@@ -85,6 +87,16 @@ impl GcRuntime {
             dest_fallbacks: 0,
             reloc_retries: 0,
         }
+    }
+
+    /// Whether garbage collection is enabled at all.
+    pub(crate) fn enabled(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The spec of the running plan, if GC is enabled.
+    pub(crate) fn spec(&self) -> Option<GcPlanSpec> {
+        self.plan.as_ref().map(|p| p.spec)
     }
 
     /// Copies tracked by the current (or last) GC event, for checkpoint
@@ -98,19 +110,46 @@ impl GcRuntime {
         self.victims.len()
     }
 
-    /// Whether a pump event would make progress (preemptive launching).
+    /// The dispatch discipline of the running plan. Only meaningful while
+    /// GC is enabled; defaults to per-victim chaining otherwise.
+    fn discipline(&self) -> DispatchDiscipline {
+        self.plan
+            .as_ref()
+            .map_or(DispatchDiscipline::PerVictimChain, |p| p.discipline())
+    }
+
+    /// Pacing parameters when an event is active under a paced discipline.
+    fn paced_params(&self) -> Option<(usize, SimTime)> {
+        if !self.active {
+            return None;
+        }
+        match self.discipline() {
+            DispatchDiscipline::Paced { batch, poll } => Some((batch, poll)),
+            DispatchDiscipline::PerVictimChain => None,
+        }
+    }
+
+    /// The placement component's destination confinement, if any.
+    fn confinement(&self) -> Option<WayMask> {
+        self.plan.as_ref().and_then(|p| p.placement.confinement())
+    }
+
+    /// Whether a pump event would make progress (paced launching).
     pub(crate) fn wants_pump(&self) -> bool {
-        self.active && self.policy == GcPolicy::Preemptive && self.next_copy < self.copies.len()
+        self.paced_params().is_some() && self.next_copy < self.copies.len()
     }
 }
 
 impl SsdSim {
-    /// Checks the trigger watermark and begins a GC event if warranted.
+    /// Checks the plan's trigger component and begins a GC event if
+    /// warranted.
     pub(crate) fn maybe_start_gc(&mut self) {
-        if self.gc.policy() == GcPolicy::None
-            || self.gc.active
+        let Some(plan) = self.gc.plan.as_ref() else {
+            return;
+        };
+        if self.gc.active
             || self.now < self.gc.starved_until
-            || !self.ftl.needs_gc()
+            || !plan.trigger.should_trigger(&self.ftl)
         {
             return;
         }
@@ -118,15 +157,17 @@ impl SsdSim {
     }
 
     fn start_gc(&mut self) {
-        let all = WayMask::all(self.cfg.geometry.ways);
-        let victim_mask = if self.gc.policy() == GcPolicy::Spatial {
-            let (gc_mask, _io_mask) = self.ftl.begin_spatial_epoch();
-            self.gc.gc_mask = Some(gc_mask);
-            gc_mask
-        } else {
-            all
-        };
-        let victims = self.ftl.select_gc_victims(victim_mask, &mut self.rng);
+        // The placement component opens the event: it may narrow the user
+        // write mask and returns the mask victims are selected from.
+        let plan = self.gc.plan.as_mut().expect("GC enabled");
+        let victim_mask = plan.placement.begin_event(&mut self.ftl);
+        self.ftl.note_gc_trigger();
+        let victims = plan.victim.select(
+            self.ftl.blocks(),
+            self.cfg.gc.victims_per_trigger as usize,
+            victim_mask,
+            &mut self.rng,
+        );
         if victims.is_empty() {
             if std::env::var("NSSD_GC_DEBUG").is_ok() {
                 eprintln!(
@@ -135,10 +176,7 @@ impl SsdSim {
                     self.ftl.free_ratio()
                 );
             }
-            if self.gc.policy() == GcPolicy::Spatial {
-                self.ftl.end_spatial_epoch();
-                self.gc.gc_mask = None;
-            }
+            plan.placement.end_event(&mut self.ftl);
             self.gc.starved_until = self.now + SimTime::from_ms(1);
             return;
         }
@@ -149,12 +187,13 @@ impl SsdSim {
         self.gc.next_copy = 0;
         self.gc.outstanding = 0;
 
+        // Expand the victims into the packet backlog.
         for pbn in victims {
             let live = self.ftl.live_pages(pbn);
             let victim_idx = self.gc.victims.len();
             let range_start = self.gc.copies.len();
             for &(lpn, src) in &live {
-                self.gc.copies.push(GcCopy {
+                self.gc.copies.push(CopyPacket {
                     victim: victim_idx,
                     lpn,
                     src,
@@ -178,21 +217,25 @@ impl SsdSim {
             }
         }
 
-        match self.gc.policy() {
-            GcPolicy::Parallel | GcPolicy::Spatial => {
-                // Each victim pipelines its copies — one in flight at a time
-                // per victim (a copyback chain) — so PaGC's concurrency is
+        self.dispatch_backlog();
+    }
+
+    /// Hands the fresh packet backlog to the plan's dispatch discipline.
+    fn dispatch_backlog(&mut self) {
+        match self.gc.discipline() {
+            DispatchDiscipline::PerVictimChain => {
+                // Each victim pipelines its packets — one in flight at a
+                // time per victim (a copyback chain) — so concurrency is
                 // the victim count, spread across the device's dies.
                 for v in 0..self.gc.victims.len() {
                     self.advance_victim(v);
                 }
             }
-            GcPolicy::Preemptive => self.gc_pump(),
-            GcPolicy::None => unreachable!("GC disabled"),
+            DispatchDiscipline::Paced { .. } => self.gc_pump(),
         }
     }
 
-    /// Hands the next queued copy of `victim` to `launch_copy`, if any.
+    /// Hands the next queued packet of `victim` to `launch_copy`, if any.
     fn advance_victim(&mut self, victim: usize) {
         let v = &mut self.gc.victims[victim];
         let next = v.range_start + v.launched;
@@ -202,22 +245,24 @@ impl SsdSim {
         }
     }
 
-    /// Semi-preemptive pacing (Lee et al., ISPASS'11): once triggered, GC
-    /// makes progress in the *gaps* — a copy launches only when its source
+    /// Paced dispatch (Lee et al., ISPASS'11): once triggered, GC makes
+    /// progress in the *gaps* — a packet launches only when its source
     /// channel is idle right now, so foreground I/O keeps bus priority at
-    /// page-copy granularity. When free space is critically low the yield
-    /// is suspended and GC proceeds unconditionally.
+    /// page-copy granularity. When the trigger component reports free
+    /// space critically low the yield is suspended and GC proceeds
+    /// unconditionally.
     pub(crate) fn gc_pump(&mut self) {
         self.gc.pump_scheduled = false;
-        if !self.gc.active || self.gc.policy() != GcPolicy::Preemptive {
+        let Some((batch, poll)) = self.gc.paced_params() else {
             // A pump can also race a finished event; re-check the trigger.
             self.maybe_start_gc();
             return;
-        }
-        let forced = self.ftl.critically_low();
-        while self.gc.next_copy < self.gc.copies.len()
-            && self.gc.outstanding < self.gc.preempt_batch
-        {
+        };
+        let forced = {
+            let plan = self.gc.plan.as_ref().expect("GC enabled");
+            plan.trigger.is_critical(&self.ftl)
+        };
+        while self.gc.next_copy < self.gc.copies.len() && self.gc.outstanding < batch {
             let c = self.gc.next_copy;
             if forced || self.gc_source_idle(c) {
                 self.gc.next_copy += 1;
@@ -226,15 +271,14 @@ impl SsdSim {
                 // Busy right now: poll for the next gap.
                 if !self.gc.pump_scheduled {
                     self.gc.pump_scheduled = true;
-                    self.queue
-                        .schedule_after(self.now, SimTime::from_us(20), Event::GcPump);
+                    self.queue.schedule_after(self.now, poll, Event::GcPump);
                 }
                 break;
             }
         }
     }
 
-    /// Whether the resources a copy's *source read* needs are free right
+    /// Whether the resources a packet's *source read* needs are free right
     /// now (the preemption check): the source plane, plus whatever channel
     /// the fabric would route the readout over.
     fn gc_source_idle(&mut self, c: usize) -> bool {
@@ -251,9 +295,14 @@ impl SsdSim {
     }
 
     /// Whether GC command/readout traffic rides the v-channels on the
-    /// *source* side (spatial GC, where the topology offers them).
+    /// *source* side (a placement that wants them, on a topology that
+    /// offers them).
     fn gc_uses_v_channel(&self) -> bool {
-        self.gc.policy() == GcPolicy::Spatial && self.fabric.gc_can_use_v()
+        self.gc
+            .plan
+            .as_ref()
+            .is_some_and(|p| p.placement.wants_v_channel())
+            && self.fabric.gc_can_use_v()
     }
 
     fn launch_copy(&mut self, c: usize) {
@@ -280,17 +329,13 @@ impl SsdSim {
         self.queue.schedule(ready, Event::GcCopyReadDone(c));
     }
 
-    /// Destination way mask for one copy, per policy/architecture:
-    /// spatial GC confines destinations to the source's column group
-    /// (§VI-A), others roam freely.
+    /// Destination way mask for one copy. A confining placement (SpGC)
+    /// pins destinations to the source's column group where the topology
+    /// routes per column (§VI-A); unconstrained placements roam freely.
     fn gc_dest_mask(&self, src_way: u32) -> WayMask {
-        if self.gc.policy() != GcPolicy::Spatial {
+        let Some(gc_mask) = self.gc.confinement() else {
             return WayMask::all(self.cfg.geometry.ways);
-        }
-        let gc_mask = self
-            .gc
-            .gc_mask
-            .expect("spatial epoch active during spatial GC");
+        };
         if let Some(omni) = self.fabric.omnibus() {
             let group = omni.v_channel_of_way(src_way);
             let ways: Vec<u32> = gc_mask
@@ -318,13 +363,19 @@ impl SsdSim {
         // Allocate the destination now, with graceful mask widening.
         let primary = self.gc_dest_mask(src_addr.way);
         let mut masks = vec![primary];
-        if let Some(gc_mask) = self.gc.gc_mask {
+        if let Some(gc_mask) = self.gc.confinement() {
             masks.push(gc_mask);
         }
         masks.push(WayMask::all(self.cfg.geometry.ways));
+        // The placement component routes the page to its relocation
+        // stream (generational plans send GC survivors cold).
+        let stream = {
+            let plan = self.gc.plan.as_ref().expect("GC enabled");
+            plan.placement.stream_for(&self.ftl, lpn)
+        };
         let mut relocation = None;
         for (i, mask) in masks.iter().enumerate() {
-            match self.ftl.relocate(lpn, src, *mask) {
+            match self.ftl.relocate_to(lpn, src, *mask, stream) {
                 Ok(Some(rel)) => {
                     if i > 0 {
                         self.gc.dest_fallbacks += 1;
@@ -344,7 +395,7 @@ impl SsdSim {
         let Some(rel) = relocation else {
             // Every permitted plane is momentarily out of free blocks; other
             // victims' erases will free space — retry shortly. (`victim`
-            // keeps the copy's bookkeeping alive until then.)
+            // keeps the packet's bookkeeping alive until then.)
             debug_assert!(self.gc.victims[victim].copies_left > 0);
             self.gc.reloc_retries += 1;
             assert!(
@@ -359,7 +410,7 @@ impl SsdSim {
         };
         self.gc.copies[c].dst = Some(rel.dst);
         if let Some(oracle) = self.oracle.as_mut() {
-            // The mapping commits at relocate() above, so the shadow map
+            // The mapping commits at relocate_to() above, so the shadow map
             // must move now — not at program completion — to stay lockstep
             // with what reads will observe.
             oracle.note_relocation(rel, self.now);
@@ -399,7 +450,7 @@ impl SsdSim {
         v.copies_left -= 1;
         if v.copies_left == 0 {
             self.schedule_victim_erase(victim);
-        } else if matches!(self.gc.policy(), GcPolicy::Parallel | GcPolicy::Spatial) {
+        } else if self.gc.discipline() == DispatchDiscipline::PerVictimChain {
             self.advance_victim(victim);
         }
         if self.gc.wants_pump() {
@@ -460,30 +511,25 @@ impl SsdSim {
         self.gc.active = false;
         self.gc.total_time += self.now - self.gc.started_at;
         self.gc.events_completed += 1;
-        if self.gc.policy() == GcPolicy::Spatial {
-            self.ftl.end_spatial_epoch();
-            self.gc.gc_mask = None;
-        }
+        let plan = self.gc.plan.as_mut().expect("GC enabled");
+        plan.placement.end_event(&mut self.ftl);
         // Hysteresis: chain events until the stop watermark recovers, so GC
         // runs in bounded phases with quiet periods in between.
-        if self.now >= self.gc.starved_until && self.ftl.free_ratio() < self.cfg.gc.stop_free_ratio
-        {
+        if self.now >= self.gc.starved_until && plan.trigger.should_continue(&self.ftl) {
             self.start_gc();
         }
     }
 }
 
 impl GcRuntime {
-    fn policy(&self) -> GcPolicy {
-        self.policy
-    }
-
     /// Serialized floor of one copy / one victim record, for count caps.
     const COPY_MIN_BYTES: usize = 8 + 8 + 8 + 1;
     const VICTIM_MIN_BYTES: usize = 8 + 4 + 8 + 8 + 8;
 
-    /// Serializes the collector's runtime state. The policy and pacing
-    /// batch are configuration, not state, and are not written.
+    /// Serializes the collector's runtime state, including the placement
+    /// component's (group rotation, active masks). The plan itself and the
+    /// pacing parameters are configuration, not state, and are not
+    /// written.
     pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
         w.put_bool(self.active);
         w.put_time(self.started_at);
@@ -511,12 +557,8 @@ impl GcRuntime {
             w.put_usize(v.launched);
         }
         w.put_usize(self.victims_left);
-        match self.gc_mask {
-            Some(m) => {
-                w.put_bool(true);
-                w.put_u64(m.bits());
-            }
-            None => w.put_bool(false),
+        if let Some(plan) = &self.plan {
+            plan.placement.ckpt_save(w);
         }
         w.put_time(self.starved_until);
         w.put_bool(self.pump_scheduled);
@@ -528,8 +570,8 @@ impl GcRuntime {
         w.put_u64(self.reloc_retries);
     }
 
-    /// Restores state saved by [`GcRuntime::ckpt_save`] into a collector of
-    /// the same policy; the geometry bounds validate every index.
+    /// Restores state saved by [`GcRuntime::ckpt_save`] into a collector
+    /// running the same plan; the geometry bounds validate every index.
     ///
     /// # Errors
     ///
@@ -541,7 +583,6 @@ impl GcRuntime {
         page_count: u64,
         logical_pages: u64,
         block_count: u64,
-        total_ways: u32,
     ) -> Result<(), CkptError> {
         let active = r.take_bool()?;
         let started_at = r.take_time()?;
@@ -570,7 +611,7 @@ impl GcRuntime {
             } else {
                 None
             };
-            copies.push(GcCopy {
+            copies.push(CopyPacket {
                 victim,
                 lpn: Lpn::new(lpn),
                 src: Ppn::new(src),
@@ -623,11 +664,9 @@ impl GcRuntime {
                 "gc victims_left exceeds the victim list".into(),
             ));
         }
-        let gc_mask = if r.take_bool()? {
-            Some(WayMask::from_bits(r.take_u64()?, total_ways)?)
-        } else {
-            None
-        };
+        if let Some(plan) = self.plan.as_mut() {
+            plan.placement.ckpt_load(r)?;
+        }
         let starved_until = r.take_time()?;
         let pump_scheduled = r.take_bool()?;
         self.active = active;
@@ -637,7 +676,6 @@ impl GcRuntime {
         self.outstanding = outstanding;
         self.victims = victims;
         self.victims_left = victims_left;
-        self.gc_mask = gc_mask;
         self.starved_until = starved_until;
         self.pump_scheduled = pump_scheduled;
         self.events_completed = r.take_u64()?;

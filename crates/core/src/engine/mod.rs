@@ -302,7 +302,7 @@ impl SsdSim {
             trans_free: Vec::new(),
             pending_write_spans: HashMap::new(),
             inflight_io: 0,
-            gc: GcRuntime::new(cfg.gc.policy),
+            gc: GcRuntime::new(&cfg.gc, g.ways),
             rng: DetRng::seed_from_u64(cfg.seed),
             oracle,
             oracle_synced: false,
@@ -857,7 +857,7 @@ impl SsdSim {
         // at the watermark (counted in FtlStats) so pure interconnect
         // studies are not polluted by GC timing — and crucially *before*
         // free space hits zero, when relocation itself would have no room.
-        if self.cfg.gc.policy == nssd_ftl::GcPolicy::None && self.ftl.needs_gc() {
+        if !self.gc.enabled() && self.ftl.needs_gc() {
             match self.oracle.as_mut() {
                 None => {
                     let _ = self.ftl.instant_gc(&mut self.rng);
@@ -1134,6 +1134,7 @@ impl SsdSim {
             },
             ftl: self.ftl.stats(),
             wear: self.ftl.blocks().wear_summary(),
+            wear_tracked: self.gc.spec().is_some_and(|s| s.tracks_wear()),
             channel_util: util,
             energy,
             reliability: self.faults.stats(),

@@ -18,7 +18,7 @@
 
 use std::fmt::Write as _;
 
-use nssd_ftl::GcPolicy;
+use nssd_ftl::{GcPlanSpec, GcPolicy};
 use nssd_workloads::{PaperWorkload, TenantMix};
 
 use crate::{
@@ -61,6 +61,9 @@ pub struct GoldenCase {
     /// When set, the case runs this multi-tenant scenario through the
     /// submission frontend instead of a single open-loop workload.
     pub tenants: Option<TenantScenario>,
+    /// When set, overrides `gc_policy` with an explicit composed GC plan
+    /// (the plan's slug replaces the policy slug in the file name).
+    pub plan: Option<GcPlanSpec>,
 }
 
 impl GoldenCase {
@@ -75,11 +78,15 @@ impl GoldenCase {
             Architecture::NoSsdPinConstrained => "nossd-pin",
             Architecture::NoSsdUnconstrained => "nossd",
         };
-        let policy = match self.gc_policy {
-            GcPolicy::None => "nogc",
-            GcPolicy::Parallel => "pagc",
-            GcPolicy::Preemptive => "preempt",
-            GcPolicy::Spatial => "spatial",
+        let policy = match self.plan {
+            Some(plan) => format!("plan-{plan}"),
+            None => match self.gc_policy {
+                GcPolicy::None => "nogc",
+                GcPolicy::Parallel => "pagc",
+                GcPolicy::Preemptive => "preempt",
+                GcPolicy::Spatial => "spatial",
+            }
+            .to_string(),
         };
         let workload: String = match self.tenants {
             Some(scenario) => scenario.slug().to_string(),
@@ -104,6 +111,7 @@ impl GoldenCase {
     pub fn config(&self) -> SsdConfig {
         let mut cfg = SsdConfig::tiny(self.architecture);
         cfg.gc.policy = self.gc_policy;
+        cfg.gc.plan = self.plan;
         cfg.gc.victims_per_trigger = 2;
         cfg.seed = self.seed;
         cfg.oracle = true;
@@ -188,6 +196,7 @@ pub fn matrix() -> Vec<GoldenCase> {
                 seed: 7,
                 requests: 120,
                 tenants: None,
+                plan: None,
             });
         }
     }
@@ -200,8 +209,23 @@ pub fn matrix() -> Vec<GoldenCase> {
                 seed: 13,
                 requests: 120,
                 tenants: None,
+                plan: None,
             });
         }
+    }
+    // Composed-plan sweep: the two plans with no legacy-policy equivalent —
+    // hot/cold generational placement and wear-aware victim scoring — on the
+    // paper's pnSSD over the same aged-device YCSB-A trace as the GC sweep.
+    for plan in [GcPlanSpec::hot_cold(), GcPlanSpec::wear_aware()] {
+        cases.push(GoldenCase {
+            architecture: Architecture::PnSsd,
+            gc_policy: GcPolicy::Parallel,
+            workload: PaperWorkload::YcsbA,
+            seed: 13,
+            requests: 120,
+            tenants: None,
+            plan: Some(plan),
+        });
     }
     // Tenant-interference sweep: the write-burst vs latency-sensitive mix
     // through the multi-queue frontend on an aged device, across the
@@ -218,6 +242,7 @@ pub fn matrix() -> Vec<GoldenCase> {
             seed: 21,
             requests: 60,
             tenants: Some(TenantScenario::InterferenceWfq),
+            plan: None,
         });
     }
     cases
@@ -375,6 +400,18 @@ pub fn canonical_json(r: &SimReport) -> String {
         jf(r.wear.std_dev),
         jlist(&r.wear.per_way_mean, |x| jf(*x))
     );
+    // Emitted only for wear-observing GC plans that actually ran GC: the
+    // legacy-policy snapshots predate the block and must stay byte-identical.
+    if r.wear_tracked && r.gc.events > 0 {
+        let _ = write!(
+            s,
+            "  \"wear_detail\": {{\"min\":{},\"max\":{},\"mean\":{},\"spread\":{}}},\n",
+            r.wear.min,
+            r.wear.max,
+            jf(r.wear.mean),
+            r.wear.spread()
+        );
+    }
     let _ = write!(
         s,
         "  \"reliability\": {{\"read_retries\":{},\"soft_decodes\":{},\

@@ -290,6 +290,11 @@ pub struct SimReport {
     /// End-of-run wear statistics (erase counts; spatial GC's epoch swap
     /// levels the per-way means).
     pub wear: WearSummary,
+    /// Whether the run's GC plan observes per-block wear (wear-aware
+    /// victims or generational placement). Such runs surface the
+    /// erase-count detail block — the observable those components are
+    /// judged by — in Display and canonical JSON.
+    pub wear_tracked: bool,
     /// Reliability counters from fault injection (all zero when faults are
     /// off).
     pub reliability: ReliabilityStats,
@@ -337,6 +342,16 @@ impl fmt::Display for SimReport {
                 f,
                 "  gc: {} events, mean {}, {} copies, {} erases",
                 self.gc.events, self.gc.mean_time, self.gc.pages_copied, self.gc.blocks_erased
+            )?;
+        }
+        if self.wear_tracked && self.gc.events > 0 {
+            writeln!(
+                f,
+                "  wear: erase min {}, max {}, mean {:.2}, spread {}",
+                self.wear.min,
+                self.wear.max,
+                self.wear.mean,
+                self.wear.spread()
             )?;
         }
         if self.reliability.any_events() {
@@ -394,6 +409,7 @@ mod tests {
                 std_dev: 0.0,
                 per_way_mean: vec![0.0],
             },
+            wear_tracked: false,
             reliability: ReliabilityStats::default(),
             tenants: Vec::new(),
             oracle: OracleSummary::default(),

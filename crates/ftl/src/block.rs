@@ -700,6 +700,12 @@ pub struct WearSummary {
 impl WearSummary {
     /// Max/min ratio of per-way mean wear (1.0 = perfectly leveled).
     ///
+    /// Wear spread: the gap between the most- and least-erased block. The
+    /// headline leveling observable for wear-aware victim selection.
+    pub fn spread(&self) -> u32 {
+        self.max - self.min
+    }
+
     /// Ways that have never been erased are ignored; returns 1.0 if fewer
     /// than two ways have wear.
     pub fn way_imbalance(&self) -> f64 {

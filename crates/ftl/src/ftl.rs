@@ -13,7 +13,7 @@ use nssd_sim::{CkptError, CkptReader, CkptWriter, Rng};
 
 use crate::{
     select_victims, AllocPolicy, BlockState, BlockTable, GcConfig, Lpn, MappingTable, OutOfSpace,
-    PageAllocator, SpatialGroups, WayMask,
+    PageAllocator, PlacementSpec, WayMask,
 };
 
 /// FTL configuration.
@@ -127,6 +127,18 @@ pub struct WriteOutcome {
     pub invalidated: Option<Ppn>,
 }
 
+/// Which write stream a GC relocation is placed through. Streams keep
+/// separate open blocks, so pages of different streams never share a
+/// destination block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcStream {
+    /// The default GC relocation stream.
+    Gc,
+    /// The cold-data stream of generational (hot/cold) plans: pages that
+    /// keep surviving GC are segregated here.
+    Cold,
+}
+
 /// The result of a GC relocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Relocation {
@@ -198,11 +210,18 @@ pub struct Ftl {
     blocks: BlockTable,
     user_alloc: PageAllocator,
     gc_alloc: PageAllocator,
-    groups: SpatialGroups,
-    /// Mask user writes must respect (narrowed during a spatial-GC epoch).
+    /// Second GC stream for generational plans: cold relocations keep
+    /// their own open blocks so stable data never shares a block with
+    /// write-hot churn.
+    cold_alloc: PageAllocator,
+    /// Mask user writes must respect (narrowed by a placement policy while
+    /// a GC event is active).
     write_mask: WayMask,
-    /// Whether a spatial epoch is currently active.
-    spatial_epoch_active: bool,
+    /// Per-LPN count of GC relocations survived since the last host write
+    /// (saturating). Sized only when the configured plan separates hot
+    /// from cold data; empty otherwise, so non-generational configs pay
+    /// nothing.
+    reloc_gen: Vec<u8>,
     stats: FtlStats,
 }
 
@@ -222,7 +241,16 @@ impl Ftl {
         // GC relocations stripe channel-first: they are not subject to the
         // user allocation study and should spread evenly.
         let gc_alloc = PageAllocator::new(&geometry, AllocPolicy::Cwdp);
-        let groups = SpatialGroups::new(geometry.ways.max(2), config.gc.gc_group_fraction);
+        let cold_alloc = PageAllocator::new(&geometry, AllocPolicy::Cwdp);
+        let generational = config
+            .gc
+            .effective_plan()
+            .is_some_and(|p| p.placement == PlacementSpec::HotCold);
+        let reloc_gen = if generational {
+            vec![0u8; logical_pages as usize]
+        } else {
+            Vec::new()
+        };
         Ok(Ftl {
             config,
             geometry,
@@ -231,9 +259,9 @@ impl Ftl {
             blocks,
             user_alloc,
             gc_alloc,
-            groups,
+            cold_alloc,
             write_mask: WayMask::all(geometry.ways),
-            spatial_epoch_active: false,
+            reloc_gen,
             stats: FtlStats::default(),
         })
     }
@@ -328,6 +356,10 @@ impl Ftl {
         if let Some(old) = invalidated {
             self.blocks.invalidate(old);
         }
+        // A host write makes the page hot again.
+        if let Some(gen) = self.reloc_gen.get_mut(lpn.raw() as usize) {
+            *gen = 0;
+        }
         self.stats.host_writes += 1;
         Ok(WriteOutcome { ppn, invalidated })
     }
@@ -345,6 +377,9 @@ impl Ftl {
         if let Some(ppn) = old {
             self.blocks.invalidate(ppn);
         }
+        if let Some(gen) = self.reloc_gen.get_mut(lpn.raw() as usize) {
+            *gen = 0;
+        }
         Ok(old)
     }
 
@@ -353,37 +388,34 @@ impl Ftl {
         self.write_mask
     }
 
-    /// The spatial-GC group state.
-    pub fn groups(&self) -> &SpatialGroups {
-        &self.groups
+    /// Narrows the user-write way mask (a placement policy confining user
+    /// writes while a GC event is active).
+    pub fn set_write_mask(&mut self, mask: WayMask) {
+        self.write_mask = mask;
     }
 
-    /// Begins a spatial-GC epoch: confines user writes to the I/O group and
-    /// returns `(gc_mask, io_mask)`.
-    pub fn begin_spatial_epoch(&mut self) -> (WayMask, WayMask) {
-        self.spatial_epoch_active = true;
-        self.write_mask = self.groups.io_ways();
-        (self.groups.gc_ways(), self.groups.io_ways())
-    }
-
-    /// Ends the spatial-GC epoch: lifts the write restriction and swaps the
-    /// groups for next time.
-    pub fn end_spatial_epoch(&mut self) {
-        self.spatial_epoch_active = false;
+    /// Lifts any user-write restriction back to all ways.
+    pub fn reset_write_mask(&mut self) {
         self.write_mask = WayMask::all(self.geometry.ways);
-        self.groups.swap();
     }
 
-    /// Whether a spatial epoch is in progress.
-    pub fn spatial_epoch_active(&self) -> bool {
-        self.spatial_epoch_active
+    /// How many GC relocations `lpn` has survived since its last host
+    /// write. Always 0 when the configured plan is not generational.
+    pub fn gc_generation(&self, lpn: Lpn) -> u8 {
+        self.reloc_gen.get(lpn.raw() as usize).copied().unwrap_or(0)
+    }
+
+    /// Counts one GC trigger event (the engine's plan performs its own
+    /// victim selection).
+    pub fn note_gc_trigger(&mut self) {
+        self.stats.gc_triggers += 1;
     }
 
     /// Selects victim blocks for one GC trigger, restricted to `mask`
     /// (pass `WayMask::all` for non-spatial policies), and counts the
     /// trigger.
     pub fn select_gc_victims<R: Rng>(&mut self, mask: WayMask, rng: &mut R) -> Vec<Pbn> {
-        self.stats.gc_triggers += 1;
+        self.note_gc_trigger();
         select_victims(
             &self.blocks,
             self.config.gc.victims_per_trigger as usize,
@@ -424,12 +456,37 @@ impl Ftl {
         src: Ppn,
         mask: WayMask,
     ) -> Result<Option<Relocation>, FtlError> {
+        self.relocate_to(lpn, src, mask, GcStream::Gc)
+    }
+
+    /// [`Ftl::relocate`] through an explicit write stream: generational
+    /// placements route pages that keep surviving GC through
+    /// [`GcStream::Cold`], whose separate open blocks keep stable data out
+    /// of write-hot blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if the permitted ways are exhausted.
+    pub fn relocate_to(
+        &mut self,
+        lpn: Lpn,
+        src: Ppn,
+        mask: WayMask,
+        stream: GcStream,
+    ) -> Result<Option<Relocation>, FtlError> {
         if self.mapping.lookup(lpn) != Some(src) {
             return Ok(None);
         }
-        let dst = self.gc_alloc.allocate(&mut self.blocks, mask)?;
+        let alloc = match stream {
+            GcStream::Gc => &mut self.gc_alloc,
+            GcStream::Cold => &mut self.cold_alloc,
+        };
+        let dst = alloc.allocate(&mut self.blocks, mask)?;
         self.mapping.map(lpn, dst);
         self.blocks.invalidate(src);
+        if let Some(gen) = self.reloc_gen.get_mut(lpn.raw() as usize) {
+            *gen = gen.saturating_add(1);
+        }
         self.stats.gc_relocations += 1;
         Ok(Some(Relocation { lpn, src, dst }))
     }
@@ -624,6 +681,7 @@ impl Ftl {
         // allocators program open blocks without consulting free lists.
         self.user_alloc.close_open_blocks(on_chip);
         self.gc_alloc.close_open_blocks(on_chip);
+        self.cold_alloc.close_open_blocks(on_chip);
         let chip_pbns: Vec<Pbn> = (0..g.block_count())
             .map(Pbn::new)
             .filter(|&p| on_chip(p))
@@ -688,19 +746,20 @@ impl Ftl {
         problems
     }
 
-    /// Serializes all mutable FTL state: mapping, block table, both
-    /// allocators, spatial groups, the write mask, and activity counters.
-    /// Configuration (geometry, policies, watermarks) is not written — a
-    /// checkpoint restores into an [`Ftl::new`]-built instance of the same
-    /// configuration.
+    /// Serializes all mutable FTL state: mapping, block table, the three
+    /// allocator streams, the write mask, relocation generations, and
+    /// activity counters. Configuration (geometry, policies, watermarks)
+    /// is not written — a checkpoint restores into an [`Ftl::new`]-built
+    /// instance of the same configuration.
     pub fn ckpt_save(&self, w: &mut CkptWriter) {
         self.mapping.ckpt_save(w);
         self.blocks.ckpt_save(w);
         self.user_alloc.ckpt_save(w);
         self.gc_alloc.ckpt_save(w);
-        self.groups.ckpt_save(w);
+        self.cold_alloc.ckpt_save(w);
         w.put_u64(self.write_mask.bits());
-        w.put_bool(self.spatial_epoch_active);
+        w.put_usize(self.reloc_gen.len());
+        w.put_bytes(&self.reloc_gen);
         w.put_u64(self.stats.host_writes);
         w.put_u64(self.stats.gc_relocations);
         w.put_u64(self.stats.erases);
@@ -722,9 +781,17 @@ impl Ftl {
         let block_count = self.geometry.block_count();
         self.user_alloc.ckpt_load(r, block_count)?;
         self.gc_alloc.ckpt_load(r, block_count)?;
-        self.groups.ckpt_load(r)?;
+        self.cold_alloc.ckpt_load(r, block_count)?;
         self.write_mask = WayMask::from_bits(r.take_u64()?, self.geometry.ways)?;
-        self.spatial_epoch_active = r.take_bool()?;
+        let gen_len = r.take_usize()?;
+        if gen_len != self.reloc_gen.len() {
+            return Err(CkptError::Invalid(format!(
+                "relocation-generation table holds {gen_len} entries, this \
+                 configuration expects {}",
+                self.reloc_gen.len()
+            )));
+        }
+        self.reloc_gen = r.take_bytes(gen_len)?.to_vec();
         self.stats.host_writes = r.take_u64()?;
         self.stats.gc_relocations = r.take_u64()?;
         self.stats.erases = r.take_u64()?;
@@ -825,22 +892,19 @@ mod tests {
     }
 
     #[test]
-    fn spatial_epoch_restricts_writes_and_swaps() {
+    fn write_mask_restricts_user_writes() {
         let mut ftl = tiny_ftl();
-        let (gc_mask, io_mask) = ftl.begin_spatial_epoch();
-        assert!(ftl.spatial_epoch_active());
+        let io_mask = WayMask::from_ways([0u32]);
+        ftl.set_write_mask(io_mask);
         assert_eq!(ftl.write_mask(), io_mask);
-        // All writes during the epoch land in the I/O group.
+        // All writes under the narrowed mask land in the permitted ways.
         for l in 0..8 {
             let out = ftl.write(Lpn::new(l)).unwrap();
             let way = ftl.geometry().page_addr(out.ppn).way;
             assert!(io_mask.contains(way));
-            assert!(!gc_mask.contains(way));
         }
-        let before = *ftl.groups();
-        ftl.end_spatial_epoch();
-        assert!(!ftl.spatial_epoch_active());
-        assert_ne!(ftl.groups().gc_ways(), before.gc_ways());
+        ftl.reset_write_mask();
+        assert_eq!(ftl.write_mask(), WayMask::all(ftl.geometry().ways));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use core::fmt;
 
 use nssd_sim::{CkptError, CkptReader, CkptWriter};
 
-use crate::{VictimPolicy, WayMask};
+use crate::{GcPlanSpec, VictimPolicy, WayMask};
 
 /// Which garbage-collection policy the FTL runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,6 +63,11 @@ pub struct GcConfig {
     pub hard_free_ratio: f64,
     /// Victim-selection policy.
     pub victim_policy: VictimPolicy,
+    /// Explicit component-level GC plan. When set it overrides `policy` —
+    /// the collector runs exactly these components; when `None` the legacy
+    /// `policy`/`victim_policy` pair decomposes into its equivalent plan
+    /// via [`GcPlanSpec::from_policy`].
+    pub plan: Option<GcPlanSpec>,
 }
 
 impl GcConfig {
@@ -77,7 +82,16 @@ impl GcConfig {
             gc_group_fraction: 0.5,
             hard_free_ratio: 0.025,
             victim_policy: VictimPolicy::Greedy,
+            plan: None,
         }
+    }
+
+    /// The plan the collector actually runs: the explicit [`GcConfig::plan`]
+    /// when set, otherwise the decomposition of the legacy policy pair.
+    /// `None` means GC is disabled.
+    pub fn effective_plan(&self) -> Option<GcPlanSpec> {
+        self.plan
+            .or_else(|| GcPlanSpec::from_policy(self.policy, self.victim_policy))
     }
 
     /// Same defaults with a different policy.
@@ -97,8 +111,11 @@ impl GcConfig {
         if !(0.0..1.0).contains(&self.trigger_free_ratio) {
             return Err("trigger_free_ratio must be in [0, 1)".into());
         }
-        if !(self.trigger_free_ratio..1.0).contains(&self.stop_free_ratio) {
-            return Err("stop_free_ratio must be in [trigger_free_ratio, 1)".into());
+        // The gap must be strictly positive: an equal pair validates a
+        // zero-duty-cycle hysteresis where every finished event immediately
+        // re-arms the trigger.
+        if !(self.stop_free_ratio > self.trigger_free_ratio && self.stop_free_ratio < 1.0) {
+            return Err("stop_free_ratio must be in (trigger_free_ratio, 1)".into());
         }
         if !(0.0..1.0).contains(&self.hard_free_ratio) {
             return Err("hard_free_ratio must be in [0, 1)".into());
@@ -244,6 +261,34 @@ mod tests {
         let mut c = GcConfig::evaluation_defaults();
         c.victims_per_trigger = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hysteresis_gap_must_be_strictly_positive() {
+        // An equal trigger/stop pair is a zero-duty-cycle config: every
+        // finished GC event instantly re-arms the trigger. Reject it.
+        let mut c = GcConfig::evaluation_defaults();
+        c.stop_free_ratio = c.trigger_free_ratio;
+        assert!(c.validate().is_err());
+        c.stop_free_ratio = c.trigger_free_ratio - 0.01;
+        assert!(c.validate().is_err());
+        c.stop_free_ratio = c.trigger_free_ratio + 0.001;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_plan_resolves_policy_and_override() {
+        let c = GcConfig::evaluation_defaults();
+        let spec = c.effective_plan().unwrap();
+        assert_eq!(
+            Some(spec),
+            GcPlanSpec::from_policy(GcPolicy::Parallel, VictimPolicy::Greedy)
+        );
+        let mut c = GcConfig::with_policy(GcPolicy::None);
+        assert_eq!(c.effective_plan(), None);
+        // An explicit plan overrides the legacy policy, even `None`.
+        c.plan = Some(GcPlanSpec::hot_cold());
+        assert_eq!(c.effective_plan(), Some(GcPlanSpec::hot_cold()));
     }
 
     #[test]

@@ -12,21 +12,27 @@
 //! * [`select_victims`] — greedy (and random) victim selection.
 //! * [`GcConfig`]/[`GcPolicy`]/[`SpatialGroups`] — the three evaluated
 //!   reclamation policies and the I/O-vs-GC group bookkeeping of Fig 12.
+//! * [`GcPlan`]/[`GcPlanSpec`] — the component decomposition the engine
+//!   actually runs: every policy is a (victim, trigger, placement,
+//!   preemption) tuple, and new collectors are component swaps.
 //! * [`Ftl`] — the facade combining all of the above, plus instant-GC
 //!   preconditioning for experiments.
 //!
 //! ```
-//! use nssd_ftl::{Ftl, FtlConfig, GcPolicy, Lpn};
+//! use nssd_ftl::{Ftl, FtlConfig, GcPlan, GcPolicy, Lpn};
 //!
 //! let mut cfg = FtlConfig::evaluation_defaults();
 //! cfg.gc.policy = GcPolicy::Spatial;
 //! let mut ftl = Ftl::new(cfg)?;
 //!
-//! // During a spatial epoch, user writes stay inside the I/O group.
-//! let (gc_mask, io_mask) = ftl.begin_spatial_epoch();
+//! // SpGC decomposes into a plan whose placement component confines user
+//! // writes to the I/O group while a GC event runs.
+//! let mut plan = GcPlan::from_config(&cfg.gc, cfg.geometry.ways).expect("GC enabled");
+//! let gc_mask = plan.placement.begin_event(&mut ftl);
 //! let out = ftl.write(Lpn::new(0))?;
 //! let way = ftl.geometry().page_addr(out.ppn).way;
-//! assert!(io_mask.contains(way) && !gc_mask.contains(way));
+//! assert!(ftl.write_mask().contains(way) && !gc_mask.contains(way));
+//! plan.placement.end_event(&mut ftl);
 //! # Ok::<(), nssd_ftl::FtlError>(())
 //! ```
 
@@ -38,13 +44,22 @@ mod block;
 mod ftl;
 mod gc;
 mod mapping;
+mod plan;
 mod victim;
 
 pub use allocator::{AllocPolicy, OutOfSpace, PageAllocator, WayMask};
 pub use block::{BlockMeta, BlockState, BlockTable, PlaneAccounting, WearSummary};
-pub use ftl::{ChipFailureOutcome, Ftl, FtlConfig, FtlError, FtlStats, Relocation, WriteOutcome};
+pub use ftl::{
+    ChipFailureOutcome, Ftl, FtlConfig, FtlError, FtlStats, GcStream, Relocation, WriteOutcome,
+};
 pub use gc::{GcConfig, GcPolicy, SpatialGroups};
 pub use mapping::{Lpn, MappingTable};
+pub use plan::{
+    DispatchDiscipline, GcPlan, GcPlanSpec, HotColdPlacement, PlacementPolicy, PlacementSpec,
+    PolicyVictims, PreemptionPolicy, PreemptionSpec, RunToCompletion, SpatialPlacement,
+    TriggerPolicy, TriggerSpec, UnconstrainedPlacement, VictimSelector, VictimSpec,
+    WatermarkTrigger, WearAwareVictims, YieldToIo, DEFAULT_WEAR_WEIGHT, VALID_PAGE_WEIGHT,
+};
 pub use victim::{select_victims, VictimPolicy};
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ pub enum VictimPolicy {
 
 /// Whether a block may be reclaimed: it must be fully written (never steal
 /// an open block from the allocator) and have at least one invalid page.
-fn eligible(blocks: &BlockTable, pbn: Pbn, mask: WayMask) -> bool {
+pub(crate) fn eligible(blocks: &BlockTable, pbn: Pbn, mask: WayMask) -> bool {
     let g = blocks.geometry();
     let meta = blocks.meta(pbn);
     meta.state() == BlockState::Full

@@ -61,6 +61,23 @@ for arch in d['architectures']:
         assert seg['ckpt_bytes'] > 0 and seg['completed'] > 0, seg
 EOF
 
+echo "==> GC plan ablation smoke"
+# A small run of the composed-plan grid (victim x placement x preemption on
+# pnSSD+split): exercises every component combination end-to-end, including
+# the cross-compositions no legacy policy covers, and leaves
+# target/plans.json as a build artifact.
+cargo run --release -q -p nssd-bench --bin plans -- --smoke
+python3 - <<'EOF'
+import json
+d = json.load(open('target/plans.json'))
+assert d['experiment'] == 'plan_ablation', d
+assert len(d['plans']) == 12, d
+names = {p['plan'] for p in d['plans']}
+assert len(names) == 12, names
+for p in d['plans']:
+    assert p['gc_events'] > 0 and p['mean_us'] > 0, p
+EOF
+
 echo "==> oracle mutation self-test"
 # Plants a corrupted mapping entry and a dropped GC copy; the shadow oracle
 # must flag both, or the invariant layer has gone blind.
