@@ -140,7 +140,7 @@ fn run_architecture(
                     requests,
                     depth: 16,
                 });
-                while sim.step() {}
+                sim.run_to_idle();
             }));
             std::panic::set_hook(prev_hook);
             outcome.is_ok()

@@ -1,41 +1,86 @@
 //! In-tree perf harness: runs a pinned cell set serially and in parallel,
-//! and writes the measurements to `BENCH.json`.
+//! runs the `EventQueue` microbench, and writes the measurements to
+//! `BENCH.json`.
 //!
 //! ```text
 //! cargo run --release -p nssd-bench --bin perf
 //! NSSD_PERF_REQUESTS=2000 NSSD_JOBS=4 cargo run --release -p nssd-bench --bin perf
+//! cargo run --release -p nssd-bench --bin perf -- --smoke   # CI gate sizing
 //! ```
 //!
 //! The cell set is fixed (architectures × workloads at a pinned seed) so
 //! successive runs measure the same work. For every cell the harness records
-//! wall-clock, the engine's scheduled-event count, and the derived
-//! events/sec; at the end it compares one serial pass (1 worker) against one
-//! parallel pass (`NSSD_JOBS` workers, default: available parallelism) over
-//! the identical cells and records the speedup plus peak RSS. Reports from
-//! the two passes are asserted byte-identical before anything is written —
-//! the perf harness doubles as an equivalence check.
+//! wall-clock, the engine's scheduled-event count, the derived events/sec,
+//! and allocations/event (a process-wide counting allocator wraps `System`);
+//! at the end it compares one serial pass (1 worker) against one parallel
+//! pass (`NSSD_JOBS` workers, default: available parallelism) over the
+//! identical cells and records the speedup plus peak RSS. Reports from the
+//! two passes are asserted byte-identical before anything is written — the
+//! perf harness doubles as an equivalence check.
+//!
+//! Trend usability: before overwriting `BENCH.json`, the prior file (if any)
+//! is scanned and each cell carries `baseline_events_per_sec` + `delta_pct`
+//! against its prior self, with a top-level `"baseline"` stanza recording
+//! what the comparison was made against. A `"queue"` section carries the
+//! microbench breakdown (see `nssd_bench::queuebench`), including the
+//! steady-state allocations/op probe that guards the allocation-free
+//! hot-loop invariant.
 //!
 //! On a 1-CPU host (or with `NSSD_JOBS=1`) the serial-vs-parallel comparison
 //! is meaningless; both passes still run for the equivalence assert, but
 //! `"speedup"` is written as `null` and `"speedup_comparable"` as `false`
 //! (`"detected_cpus"` records what the harness saw).
 //!
-//! Knobs: `NSSD_PERF_REQUESTS` (requests per cell, default 4000),
-//! `NSSD_JOBS` (parallel worker count).
+//! Knobs: `NSSD_PERF_REQUESTS` (requests per cell, default 60000 — large
+//! enough that steady-state per-event cost dominates cold-start transients;
+//! 300 under `--smoke`), `NSSD_JOBS` (parallel worker count). Smoke runs
+//! write `target/BENCH.smoke.json` so a CI gate never overwrites the
+//! committed trend record.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use nssd_bench::setup;
-use nssd_core::{run_trace, Architecture, SimReport};
+use nssd_bench::{queuebench, setup};
+use nssd_core::{prepare_trace, Architecture, SimReport};
 use nssd_sim::Pool;
 use nssd_workloads::PaperWorkload;
 
-fn perf_requests() -> usize {
+/// `System`, plus a process-wide allocation counter. Counting is two relaxed
+/// atomic increments per allocation — cheap enough to leave on for the whole
+/// measurement, and the same allocator measures every pass, so cells remain
+/// comparable run-over-run.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn perf_requests(smoke: bool) -> usize {
     std::env::var("NSSD_PERF_REQUESTS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(4000)
+        .unwrap_or(if smoke { 300 } else { 60_000 })
 }
 
 /// Peak resident set size in kB, from `/proc/self/status` (`VmHWM`).
@@ -63,7 +108,13 @@ fn cells() -> Vec<(Architecture, PaperWorkload)> {
         .collect()
 }
 
-fn run_cells(pool: Pool, requests: usize) -> (Vec<SimReport>, f64) {
+/// Runs every cell; each result carries the allocation count observed around
+/// the event loop itself — construction, preconditioning, and trace
+/// generation happen before the counter snapshot, so `allocs_per_event`
+/// tracks the hot loop (plus final report assembly), not setup. Meaningful
+/// per cell only in the serial pass, where cells run one at a time — the
+/// counter is process-wide.
+fn run_cells(pool: Pool, requests: usize) -> (Vec<(SimReport, u64)>, f64) {
     let jobs: Vec<_> = cells()
         .into_iter()
         .map(|(arch, workload)| {
@@ -71,7 +122,10 @@ fn run_cells(pool: Pool, requests: usize) -> (Vec<SimReport>, f64) {
                 let cfg = setup::io_config(arch);
                 let trace =
                     workload.generate(requests, setup::io_footprint(&cfg), setup::EXPERIMENT_SEED);
-                run_trace(cfg, trace).expect("perf cell run")
+                let (sim, drive) = prepare_trace(cfg, trace).expect("perf cell prepare");
+                let before = alloc_count();
+                let report = sim.run(drive);
+                (report, alloc_count().saturating_sub(before))
             }
         })
         .collect();
@@ -80,8 +134,60 @@ fn run_cells(pool: Pool, requests: usize) -> (Vec<SimReport>, f64) {
     (reports, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// A prior BENCH.json, scanned for comparison. The harness writes one cell
+/// object per line, so a line-based scan of its own output is exact; foreign
+/// or hand-edited files simply yield no baseline.
+struct Baseline {
+    schema: String,
+    requests_per_cell: u64,
+    /// `(architecture, workload, events_per_sec)` per prior cell.
+    cells: Vec<(String, String, f64)>,
+}
+
+fn json_str_field(s: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = s.find(&pat)? + pat.len();
+    let rest = &s[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn json_num_field(s: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = s.find(&pat)? + pat.len();
+    let rest = &s[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn read_baseline(path: &str) -> Option<Baseline> {
+    let prior = std::fs::read_to_string(path).ok()?;
+    let schema = json_str_field(&prior, "schema")?;
+    if !schema.starts_with("nssd-bench-perf/") {
+        return None;
+    }
+    let requests_per_cell = json_num_field(&prior, "requests_per_cell")? as u64;
+    let cells = prior
+        .lines()
+        .filter_map(|line| {
+            Some((
+                json_str_field(line, "architecture")?,
+                json_str_field(line, "workload")?,
+                json_num_field(line, "events_per_sec")?,
+            ))
+        })
+        .collect();
+    Some(Baseline {
+        schema,
+        requests_per_cell,
+        cells,
+    })
+}
+
 fn main() {
-    let requests = perf_requests();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests = perf_requests(smoke);
     let parallel_workers = Pool::from_env().workers();
     let detected_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -92,8 +198,27 @@ fn main() {
     let speedup_comparable = parallel_workers >= 2 && detected_cpus >= 2;
     eprintln!(
         ">>> perf harness: {} cells x {requests} requests, serial then {parallel_workers} \
-         worker(s) on {detected_cpus} detected CPU(s)",
-        cells().len()
+         worker(s) on {detected_cpus} detected CPU(s){}",
+        cells().len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // Smoke runs are a CI gate, not a measurement: they compare against the
+    // committed baseline but write elsewhere, so a 300-request gate run
+    // never clobbers the trend record.
+    let path = if smoke {
+        "target/BENCH.smoke.json"
+    } else {
+        "BENCH.json"
+    };
+    let baseline = read_baseline("BENCH.json");
+
+    let queue_ops = if smoke { 200_000 } else { 2_000_000 };
+    let queue = queuebench::run(queue_ops, &alloc_count);
+    eprintln!(
+        ">>> queue: dense {:.1} Mops, bursts {:.1} Mops, far-future {:.1} Mops, \
+         steady-state {:.4} allocs/op",
+        queue.dense_mops, queue.burst_mops, queue.far_future_mops, queue.steady_state_allocs_per_op
     );
 
     let (serial_reports, serial_wall_ms) = run_cells(Pool::with_workers(1), requests);
@@ -101,7 +226,7 @@ fn main() {
 
     // The perf harness is also an equivalence witness: the parallel pass must
     // reproduce the serial pass byte-for-byte.
-    for (i, (s, p)) in serial_reports.iter().zip(&parallel_reports).enumerate() {
+    for (i, ((s, _), (p, _))) in serial_reports.iter().zip(&parallel_reports).enumerate() {
         assert_eq!(
             nssd_core::golden::canonical_json(s),
             nssd_core::golden::canonical_json(p),
@@ -111,26 +236,74 @@ fn main() {
 
     let speedup = serial_wall_ms / parallel_wall_ms.max(1e-9);
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"nssd-bench-perf/1\",\n");
+    json.push_str("  \"schema\": \"nssd-bench-perf/2\",\n");
     json.push_str(&format!("  \"requests_per_cell\": {requests},\n"));
     json.push_str(&format!("  \"parallel_workers\": {parallel_workers},\n"));
     json.push_str(&format!("  \"detected_cpus\": {detected_cpus},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str("  \"cells\": [\n");
     let n = serial_reports.len();
-    for (i, ((arch, workload), r)) in cells().into_iter().zip(&serial_reports).enumerate() {
+    for (i, ((arch, workload), (r, allocs))) in cells().into_iter().zip(&serial_reports).enumerate()
+    {
         let wall_ms = r.engine.wall_clock.as_secs_f64() * 1e3;
+        let events_per_sec = r.engine.events_per_sec();
+        let allocs_per_event = *allocs as f64 / (r.engine.scheduled_events.max(1) as f64);
+        let prior = baseline.as_ref().and_then(|b| {
+            b.cells
+                .iter()
+                .find(|(a, w, _)| a == arch.label() && w == workload.name())
+                .map(|&(_, _, eps)| eps)
+        });
+        let (baseline_eps, delta_pct) = match prior {
+            Some(eps) if eps > 0.0 => (
+                format!("{eps:.0}"),
+                format!("{:.1}", (events_per_sec - eps) / eps * 100.0),
+            ),
+            _ => ("null".into(), "null".into()),
+        };
         json.push_str(&format!(
             "    {{\"architecture\": \"{}\", \"workload\": \"{}\", \"wall_ms\": {:.3}, \
-             \"scheduled_events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+             \"scheduled_events\": {}, \"events_per_sec\": {:.0}, \
+             \"allocs_per_event\": {:.3}, \"baseline_events_per_sec\": {}, \
+             \"delta_pct\": {}}}{}\n",
             arch.label(),
             workload.name(),
             wall_ms,
             r.engine.scheduled_events,
-            r.engine.events_per_sec(),
+            events_per_sec,
+            allocs_per_event,
+            baseline_eps,
+            delta_pct,
             if i + 1 < n { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"queue\": {\n");
+    json.push_str(&format!("    \"ops\": {queue_ops},\n"));
+    json.push_str(&format!(
+        "    \"dense_schedule_pop_mops\": {:.2},\n",
+        queue.dense_mops
+    ));
+    json.push_str(&format!(
+        "    \"same_tick_burst_mops\": {:.2},\n",
+        queue.burst_mops
+    ));
+    json.push_str(&format!(
+        "    \"far_future_mix_mops\": {:.2},\n",
+        queue.far_future_mops
+    ));
+    json.push_str(&format!(
+        "    \"steady_state_allocs_per_op\": {:.6}\n",
+        queue.steady_state_allocs_per_op
+    ));
+    json.push_str("  },\n");
+    match &baseline {
+        Some(b) => json.push_str(&format!(
+            "  \"baseline\": {{\"schema\": \"{}\", \"requests_per_cell\": {}}},\n",
+            b.schema, b.requests_per_cell
+        )),
+        None => json.push_str("  \"baseline\": null,\n"),
+    }
     json.push_str(&format!("  \"serial_wall_ms\": {serial_wall_ms:.3},\n"));
     json.push_str(&format!("  \"parallel_wall_ms\": {parallel_wall_ms:.3},\n"));
     json.push_str(&format!(
@@ -147,9 +320,14 @@ fn main() {
     }
     json.push_str("}\n");
 
-    let path = "BENCH.json";
     let mut f = std::fs::File::create(path).expect("create BENCH.json");
     f.write_all(json.as_bytes()).expect("write BENCH.json");
+    if let Some(b) = &baseline {
+        eprintln!(
+            ">>> baseline: compared against prior {} run at {} requests/cell",
+            b.schema, b.requests_per_cell
+        );
+    }
     if speedup_comparable {
         eprintln!(
             ">>> serial {serial_wall_ms:.0} ms, parallel {parallel_wall_ms:.0} ms \

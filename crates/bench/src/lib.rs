@@ -20,6 +20,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod extensions;
 pub mod gc_experiments;
+pub mod queuebench;
 pub mod reliability;
 pub mod setup;
 mod table;

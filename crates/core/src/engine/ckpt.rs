@@ -6,10 +6,8 @@
 //! slabs, the GC runtime, the RNG, the shadow oracle, the fault engine, and
 //! every statistics accumulator. Derived state is *rebuilt* instead of
 //! stored: the fabric backend is a pure function of the configuration, and
-//! the FTL-core order heap is recomputed from the restored core timelines
-//! (its keys are exactly each core's `next_free()`, and the `(time, index)`
-//! total order makes the heap's pop sequence independent of its internal
-//! arrangement).
+//! the per-core `ftl_core_free` cache is recomputed from the restored core
+//! timelines (its entries are exactly each core's `next_free()`).
 //!
 //! [`SsdSim::ckpt_load_state`] validates every index against the configured
 //! geometry and the restored collection lengths before it is ever used, so
@@ -17,9 +15,6 @@
 //! later in the run. On error the simulator may be left partially restored —
 //! [`crate::Checkpoint::resume`] always decodes into a fresh simulator and
 //! discards it on failure.
-
-use std::cmp::Reverse;
-use std::collections::HashMap;
 
 use nssd_host::{HostFrontend, IoOp, IoRequest, SchedulerKind, TenantConfig};
 use nssd_sim::{CkptError, CkptReader, CkptWriter, DetRng, Histogram};
@@ -210,15 +205,14 @@ impl SsdSim {
         for &i in &self.trans_free {
             w.put_usize(i);
         }
-        // The map is keyed-access only; serialize sorted so identical states
-        // always produce identical bytes.
-        let mut spans: Vec<(usize, PendingSpan)> = self
+        // The slab is indexed by request slot, so iterating it yields the
+        // same sorted-by-key byte stream the map-based format produced.
+        let spans = self
             .pending_write_spans
             .iter()
-            .map(|(&k, &v)| (k, v))
-            .collect();
-        spans.sort_by_key(|&(k, _)| k);
-        w.put_usize(spans.len());
+            .enumerate()
+            .filter_map(|(k, v)| v.map(|s| (k, s)));
+        w.put_usize(spans.clone().count());
         for (req, s) in spans {
             w.put_usize(req);
             w.put_u64(s.first_page);
@@ -296,12 +290,7 @@ impl SsdSim {
                 res.ckpt_load(r)?;
             }
         }
-        self.ftl_core_order = self
-            .ftl_cores
-            .iter()
-            .enumerate()
-            .map(|(i, c)| Reverse((c.next_free(), i)))
-            .collect();
+        self.ftl_core_free = self.ftl_cores.iter().map(|c| c.next_free()).collect();
         self.host.ckpt_load(r)?;
 
         let n = r.take_count(IoRequest::CKPT_MIN_BYTES)?;
@@ -515,7 +504,7 @@ impl SsdSim {
             trans_free.push(i);
         }
         let n = r.take_count(SPAN_MIN_BYTES)?;
-        let mut pending_write_spans = HashMap::with_capacity(n);
+        let mut pending_write_spans: Vec<Option<PendingSpan>> = vec![None; requests.len()];
         let mut prev_key = None;
         for _ in 0..n {
             let req = r.take_usize()?;
@@ -531,14 +520,11 @@ impl SsdSim {
             let first_page = r.take_u64()?;
             let pages = r.take_u32()?;
             let retries = r.take_u32()?;
-            pending_write_spans.insert(
-                req,
-                PendingSpan {
-                    first_page,
-                    pages,
-                    retries,
-                },
-            );
+            pending_write_spans[req] = Some(PendingSpan {
+                first_page,
+                pages,
+                retries,
+            });
         }
         let inflight_io = r.take_usize()?;
         if inflight_io > requests.len() {

@@ -187,24 +187,26 @@ impl SsdSim {
         self.gc.next_copy = 0;
         self.gc.outstanding = 0;
 
-        // Expand the victims into the packet backlog.
+        // Expand the victims into the packet backlog, streaming each
+        // block's live pages straight into the reusable `copies` buffer.
         for pbn in victims {
-            let live = self.ftl.live_pages(pbn);
             let victim_idx = self.gc.victims.len();
             let range_start = self.gc.copies.len();
-            for &(lpn, src) in &live {
-                self.gc.copies.push(CopyPacket {
+            let copies = &mut self.gc.copies;
+            self.ftl.for_each_live_page(pbn, |lpn, src| {
+                copies.push(CopyPacket {
                     victim: victim_idx,
                     lpn,
                     src,
                     dst: None,
                 });
-            }
+            });
+            let range_end = self.gc.copies.len();
             self.gc.victims.push(VictimState {
                 pbn,
-                copies_left: live.len() as u32,
+                copies_left: (range_end - range_start) as u32,
                 range_start,
-                range_end: self.gc.copies.len(),
+                range_end,
                 launched: 0,
             });
         }
@@ -338,16 +340,14 @@ impl SsdSim {
         };
         if let Some(omni) = self.fabric.omnibus() {
             let group = omni.v_channel_of_way(src_way);
-            let ways: Vec<u32> = gc_mask
-                .ways()
-                .into_iter()
-                .filter(|&w| w < self.cfg.geometry.ways && omni.v_channel_of_way(w) == group)
-                .collect();
-            if ways.is_empty() {
-                gc_mask
-            } else {
-                WayMask::from_ways(ways)
+            let mut bits = 0u64;
+            for w in 0..self.cfg.geometry.ways {
+                if gc_mask.contains(w) && omni.v_channel_of_way(w) == group {
+                    bits |= 1u64 << w;
+                }
             }
+            // An empty intersection widens back to the confinement mask.
+            WayMask::from_bits(bits, self.cfg.geometry.ways).unwrap_or(gc_mask)
         } else {
             // Bus/mesh architectures: same column only.
             WayMask::from_ways([src_way])
@@ -362,11 +362,11 @@ impl SsdSim {
         let src_addr = self.cfg.geometry.page_addr(src);
         // Allocate the destination now, with graceful mask widening.
         let primary = self.gc_dest_mask(src_addr.way);
-        let mut masks = vec![primary];
-        if let Some(gc_mask) = self.gc.confinement() {
-            masks.push(gc_mask);
-        }
-        masks.push(WayMask::all(self.cfg.geometry.ways));
+        let masks = [
+            Some(primary),
+            self.gc.confinement(),
+            Some(WayMask::all(self.cfg.geometry.ways)),
+        ];
         // The placement component routes the page to its relocation
         // stream (generational plans send GC survivors cold).
         let stream = {
@@ -375,7 +375,8 @@ impl SsdSim {
         };
         let mut relocation = None;
         for (i, mask) in masks.iter().enumerate() {
-            match self.ftl.relocate_to(lpn, src, *mask, stream) {
+            let Some(mask) = *mask else { continue };
+            match self.ftl.relocate_to(lpn, src, mask, stream) {
                 Ok(Some(rel)) => {
                     if i > 0 {
                         self.gc.dest_fallbacks += 1;

@@ -12,8 +12,6 @@ mod gcrun;
 mod iopath;
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 use nssd_faults::{FaultEngine, ReadFault, ReliabilityStats};
 use nssd_flash::{FlashChip, PageAddr, Pbn, Ppn};
@@ -165,6 +163,10 @@ pub struct SsdSim {
     cfg: SsdConfig,
     now: SimTime,
     queue: EventQueue<Event>,
+    /// Reusable same-tick dispatch buffer for [`SsdSim::run_to_idle`];
+    /// always empty between events, kept on the struct so its capacity
+    /// survives across batches and the hot loop never allocates.
+    batch: Vec<Event>,
     pub(crate) ftl: Ftl,
     pub(crate) chips: Vec<FlashChip>,
     pub(crate) h_channels: Vec<Resource>,
@@ -173,11 +175,13 @@ pub struct SsdSim {
     /// The controller's FTL cores (Fig 2); contended only when
     /// `ftl_page_latency` is nonzero.
     ftl_cores: Vec<Resource>,
-    /// Min-heap of `(free_at, core)` over `ftl_cores`, replacing a per-page
-    /// linear scan. Keys stay exact because [`SsdSim::ftl_compute`] is the
-    /// only mutator of the core timelines; the `(time, index)` ordering
-    /// reproduces the old scan's tie-break bit-for-bit.
-    ftl_core_order: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Cached `next_free` per FTL core, indexed by core. A handful of cores
+    /// means the min scan is a few branchless compares over one cache line —
+    /// cheaper than the old `BinaryHeap` pop/push pair and allocation-free.
+    /// Entries stay exact because [`SsdSim::ftl_compute`] is the only
+    /// mutator of the core timelines; first-wins on ties reproduces the
+    /// heap's `(time, index)` ordering bit-for-bit.
+    ftl_core_free: Vec<SimTime>,
     pub(crate) host: HostPipes,
     /// The architecture's data-movement backend; the only per-architecture
     /// dispatch happens once, at construction (see [`fabric::build`]).
@@ -200,10 +204,10 @@ pub struct SsdSim {
     /// always a transaction's final event). Keeps memory bounded on
     /// multi-million-page runs instead of growing one state per page.
     trans_free: Vec<usize>,
-    /// In-flight write spans keyed by request slot (at most one per
-    /// request); keyed access only, so the map's iteration order never
-    /// influences the simulation.
-    pending_write_spans: HashMap<usize, PendingSpan>,
+    /// In-flight write spans, indexed by request slot (at most one per
+    /// request). Slab-parallel to `requests`, so insertion and removal are
+    /// plain indexed stores with no hashing on the write hot path.
+    pending_write_spans: Vec<Option<PendingSpan>>,
     pub(crate) inflight_io: usize,
     // GC.
     pub(crate) gc: GcRuntime,
@@ -280,15 +284,14 @@ impl SsdSim {
         let sim = SsdSim {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+            batch: Vec::new(),
             ftl,
             chips,
             h_channels,
             v_channels,
             mesh_links,
             ftl_cores: (0..cfg.ftl_cores).map(|_| Resource::new()).collect(),
-            ftl_core_order: (0..cfg.ftl_cores as usize)
-                .map(|i| Reverse((SimTime::ZERO, i)))
-                .collect(),
+            ftl_core_free: vec![SimTime::ZERO; cfg.ftl_cores as usize],
             host: HostPipes::new(cfg.host_params()),
             fabric,
             arrivals: Vec::new(),
@@ -300,7 +303,7 @@ impl SsdSim {
             req_free: Vec::new(),
             trans: Vec::new(),
             trans_free: Vec::new(),
-            pending_write_spans: HashMap::new(),
+            pending_write_spans: Vec::new(),
             inflight_io: 0,
             gc: GcRuntime::new(&cfg.gc, g.ways),
             rng: DetRng::seed_from_u64(cfg.seed),
@@ -412,9 +415,14 @@ impl SsdSim {
         if dur.is_zero() {
             return now;
         }
-        let Reverse((_, core)) = self.ftl_core_order.pop().expect("at least one FTL core");
+        let mut core = 0usize;
+        for (i, &free) in self.ftl_core_free.iter().enumerate().skip(1) {
+            if free < self.ftl_core_free[core] {
+                core = i;
+            }
+        }
         let end = self.ftl_cores[core].reserve(now, dur).end;
-        self.ftl_core_order.push(Reverse((end, core)));
+        self.ftl_core_free[core] = end;
         end
     }
 
@@ -430,6 +438,15 @@ impl SsdSim {
                 self.requests.len() - 1
             }
         }
+    }
+
+    /// Records `span` as request `req`'s in-flight write span, growing the
+    /// slab to cover the slot.
+    fn set_pending_span(&mut self, req: usize, span: PendingSpan) {
+        if self.pending_write_spans.len() <= req {
+            self.pending_write_spans.resize(req + 1, None);
+        }
+        self.pending_write_spans[req] = Some(span);
     }
 
     /// Allocates a page-transaction slot, reusing a completed one when
@@ -479,7 +496,7 @@ impl SsdSim {
     pub fn run(mut self, drive: Drive) -> SimReport {
         let wall_start = std::time::Instant::now();
         self.start(drive);
-        while self.step() {}
+        self.run_to_idle();
         self.loop_wall = wall_start.elapsed();
         self.into_report()
     }
@@ -573,6 +590,24 @@ impl SsdSim {
             }
             None => false,
         }
+    }
+
+    /// Drains the event queue with same-tick batch dispatch: all events
+    /// pending at one instant are popped in a single bucket access, then
+    /// handled in FIFO order. Events a handler schedules for the current
+    /// instant land in the next batch at the same time, so the handle order
+    /// is exactly the order repeated [`SsdSim::step`] calls would produce —
+    /// this is a faster loop, not a different schedule.
+    pub fn run_to_idle(&mut self) {
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(t) = self.queue.pop_batch(&mut batch) {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            for ev in batch.drain(..) {
+                self.handle(ev);
+            }
+        }
+        self.batch = batch;
     }
 
     /// Whether the event queue has drained.
@@ -778,7 +813,7 @@ impl SsdSim {
                     .host
                     .inbound(self.now, r.len as u64, Traffic::HostWrite.tag());
                 self.queue.schedule(landed.end, Event::IssuePages(req_id));
-                self.pending_write_spans.insert(
+                self.set_pending_span(
                     req_id,
                     PendingSpan {
                         first_page,
@@ -797,9 +832,8 @@ impl SsdSim {
             first_page,
             pages,
             retries,
-        } = self
-            .pending_write_spans
-            .remove(&req)
+        } = self.pending_write_spans[req]
+            .take()
             .expect("write span recorded at arrival");
         for p in 0..pages {
             let lpn = Lpn::new(first_page + p as u64);
@@ -817,7 +851,7 @@ impl SsdSim {
                         RETRY_DELAY * MAX_RETRIES as u64,
                         self.now
                     );
-                    self.pending_write_spans.insert(
+                    self.set_pending_span(
                         req,
                         PendingSpan {
                             first_page: first_page + p as u64,
@@ -1173,13 +1207,13 @@ pub(crate) fn reserve_with_link_faults(
 mod tests {
     use super::*;
 
-    /// The heap-based FTL-core pick must reproduce the old linear scan
-    /// (`min_by_key` over `(next_free, index)`) choice-for-choice: a mirror
-    /// set of resources is driven by the reference scan, and both the
-    /// returned completion times and the final per-core timelines must
-    /// agree at every step.
+    /// The cached-vector FTL-core pick must reproduce the reference scan
+    /// (`min_by_key` over `(next_free, index)`) choice-for-choice — the same
+    /// contract the interim `BinaryHeap` held: a mirror set of resources is
+    /// driven by the reference scan, and both the returned completion times
+    /// and the final per-core timelines must agree at every step.
     #[test]
-    fn heap_core_pick_matches_linear_scan() {
+    fn core_pick_matches_reference_scan() {
         let mut cfg = SsdConfig::tiny(crate::Architecture::BaseSsd);
         cfg.ftl_cores = 3;
         cfg.ftl_page_latency = SimTime::from_ns(250);

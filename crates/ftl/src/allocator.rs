@@ -249,15 +249,26 @@ impl PageAllocator {
         reserve: u64,
     ) -> Result<Ppn, OutOfSpace> {
         let g = *blocks.geometry();
-        let ways: Vec<u32> = mask.ways().into_iter().filter(|&w| w < g.ways).collect();
-        if ways.is_empty() {
+        // Permitted ways as bits, clipped to the geometry — this runs once
+        // per programmed page, so the way list is never materialized; the
+        // `way_i`-th permitted way is selected straight from the bits below.
+        let way_bits = mask.bits() & WayMask::all(g.ways).bits();
+        let way_count = way_bits.count_ones();
+        if way_count == 0 {
             return Err(OutOfSpace);
         }
-        let units = g.planes as u64 * g.channels as u64 * ways.len() as u64 * g.dies as u64;
+        let units = g.planes as u64 * g.channels as u64 * way_count as u64 * g.dies as u64;
         for _ in 0..units {
-            let (channel, way_i, die, plane) = self.decode(self.seq, &g, ways.len() as u32);
+            let (channel, way_i, die, plane) = self.decode(self.seq, &g, way_count);
             self.seq += 1;
-            let way = ways[way_i as usize];
+            let way = {
+                // The `way_i`-th (ascending) set bit of `way_bits`.
+                let mut bits = way_bits;
+                for _ in 0..way_i {
+                    bits &= bits - 1;
+                }
+                bits.trailing_zeros()
+            };
             let unit = ((g.chip_index(channel, way) as u64 * g.dies as u64 + die as u64)
                 * g.planes as u64
                 + plane as u64) as usize;

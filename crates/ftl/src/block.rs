@@ -263,11 +263,21 @@ impl BlockTable {
 
     /// The PPNs of all valid pages in `pbn`, in page order.
     pub fn valid_pages(&self, pbn: Pbn) -> Vec<Ppn> {
+        let mut out = Vec::with_capacity(self.blocks[pbn.raw() as usize].valid_count as usize);
+        self.for_each_valid_page(pbn, |ppn| out.push(ppn));
+        out
+    }
+
+    /// Visits the valid pages of `pbn` in page order without materializing
+    /// them — the GC hot path streams these straight into its reusable
+    /// packet backlog.
+    pub fn for_each_valid_page(&self, pbn: Pbn, mut f: impl FnMut(Ppn)) {
         let meta = &self.blocks[pbn.raw() as usize];
-        (0..meta.write_ptr)
-            .filter(|&p| meta.is_valid(p))
-            .map(|p| self.geometry.ppn_in_block(pbn, p))
-            .collect()
+        for p in 0..meta.write_ptr {
+            if meta.is_valid(p) {
+                f(self.geometry.ppn_in_block(pbn, p));
+            }
+        }
     }
 
     /// Erases `pbn`, returning it to its plane's free list — unless its

@@ -427,17 +427,22 @@ impl Ftl {
 
     /// The live pages of `pbn` with their logical owners, in page order.
     pub fn live_pages(&self, pbn: Pbn) -> Vec<(Lpn, Ppn)> {
-        self.blocks
-            .valid_pages(pbn)
-            .into_iter()
-            .map(|ppn| {
-                let lpn = self
-                    .mapping
-                    .reverse(ppn)
-                    .expect("valid page must have a logical owner");
-                (lpn, ppn)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_live_page(pbn, |lpn, ppn| out.push((lpn, ppn)));
+        out
+    }
+
+    /// Visits the live pages of `pbn` with their logical owners, in page
+    /// order, without materializing them (keeps steady-state GC
+    /// allocation-free).
+    pub fn for_each_live_page(&self, pbn: Pbn, mut f: impl FnMut(Lpn, Ppn)) {
+        self.blocks.for_each_valid_page(pbn, |ppn| {
+            let lpn = self
+                .mapping
+                .reverse(ppn)
+                .expect("valid page must have a logical owner");
+            f(lpn, ppn);
+        });
     }
 
     /// Relocates one live page during GC: allocates a destination within

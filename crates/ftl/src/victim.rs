@@ -57,17 +57,36 @@ pub fn select_victims<R: Rng>(
     policy: VictimPolicy,
     rng: &mut R,
 ) -> Vec<Pbn> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if policy == VictimPolicy::Greedy {
+        // One scan keeping the `n` smallest `(valid_count, pbn)` keys —
+        // identical to sorting every eligible block and truncating (keys
+        // are unique, so the order is total), without materializing the
+        // full candidate list on every trigger.
+        let mut best: Vec<(u32, Pbn)> = Vec::with_capacity(n + 1);
+        for (pbn, _) in blocks.iter() {
+            if !eligible(blocks, pbn, mask) {
+                continue;
+            }
+            let key = (blocks.meta(pbn).valid_count(), pbn);
+            if best.len() == n && key >= *best.last().expect("n > 0 when full") {
+                continue;
+            }
+            let at = best.partition_point(|&k| k < key);
+            best.insert(at, key);
+            best.truncate(n);
+        }
+        return best.into_iter().map(|(_, pbn)| pbn).collect();
+    }
     let mut candidates: Vec<Pbn> = blocks
         .iter()
         .filter(|(pbn, _)| eligible(blocks, *pbn, mask))
         .map(|(pbn, _)| pbn)
         .collect();
     match policy {
-        VictimPolicy::Greedy => {
-            candidates.sort_by_key(|&pbn| (blocks.meta(pbn).valid_count(), pbn));
-            candidates.truncate(n);
-            candidates
-        }
+        VictimPolicy::Greedy => unreachable!("handled above"),
         VictimPolicy::Random => {
             let mut out = Vec::with_capacity(n.min(candidates.len()));
             for _ in 0..n.min(candidates.len()) {

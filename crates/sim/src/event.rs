@@ -4,53 +4,16 @@
 //! nondecreasing time order. Events scheduled for the same instant are popped
 //! in the order they were scheduled (a strict FIFO tiebreak), which makes the
 //! whole simulation deterministic for a fixed input.
+//!
+//! Storage is the hierarchical timing wheel in [`crate::wheel`] — O(1)
+//! amortized schedule/pop on dense near-horizon traffic, with
+//! [`EventQueue::pop_batch`] draining a whole same-instant batch in one
+//! bucket access. The checkpoint wire format predates the wheel (events are
+//! serialized in pop order) and is unchanged: checkpoints written by the
+//! old binary-heap queue load into the wheel byte-compatibly.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::wheel::{Key, TimingWheel};
 use crate::{CkptError, CkptReader, CkptWriter, SimTime};
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Key {
-    at: SimTime,
-    seq: u64,
-}
-
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    key: Key,
-    event: E,
-}
-
-// Manual impls so `E` itself does not need Ord.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
-}
 
 /// A deterministic discrete-event priority queue.
 ///
@@ -71,7 +34,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    wheel: TimingWheel<E>,
     next_seq: u64,
     scheduled_total: u64,
 }
@@ -80,19 +43,20 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: TimingWheel::new(),
             next_seq: 0,
             scheduled_total: 0,
         }
     }
 
-    /// Creates an empty queue with capacity for `cap` pending events.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            scheduled_total: 0,
-        }
+    /// Creates an empty queue sized for `cap` pending events.
+    ///
+    /// The wheel spreads events across fixed bucket rings, so there is no
+    /// single backing array to pre-size; the hint is accepted for API
+    /// compatibility and buckets grow to their steady-state capacity on
+    /// first use.
+    pub fn with_capacity(_cap: usize) -> Self {
+        Self::new()
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -103,32 +67,48 @@ impl<E> EventQueue<E> {
         };
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Reverse(Entry { key, event }));
+        self.wheel.insert(key, event);
     }
 
     /// Schedules `event` to fire `delay` after `now`.
+    ///
+    /// The addition saturates at [`SimTime::MAX`]: a degenerate far-future
+    /// delay parks at the end of time instead of wrapping into the past
+    /// (which would silently reorder the simulation).
     pub fn schedule_after(&mut self, now: SimTime, delay: SimTime, event: E) {
-        self.schedule(now + delay, event);
+        let at = now.saturating_add(delay);
+        self.schedule(at, event);
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.key.at, e.event))
+        self.wheel.pop().map(|(k, e)| (k.at, e))
+    }
+
+    /// Drains *every* event pending at the earliest instant into `out`
+    /// (preserving the FIFO tiebreak order) and returns that instant.
+    ///
+    /// Events scheduled for the same instant while the batch is being
+    /// handled are picked up by the next call, exactly as repeated
+    /// [`EventQueue::pop`] calls would interleave them. `out` is appended
+    /// to, not cleared.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        self.wheel.pop_batch(out)
     }
 
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.key.at)
+        self.wheel.peek()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.len() == 0
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -136,24 +116,30 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events (bucket capacity is retained).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.wheel.clear();
     }
 
     /// Serializes the queue. Pending events are written in pop order
     /// (time, then FIFO sequence), each encoded by `enc`; the sequence
     /// counters are saved so a restored queue schedules future events with
     /// exactly the tiebreak ordering the continuous run would have used.
+    ///
+    /// The bytes are a pure function of the pending `(time, seq, event)`
+    /// set — independent of wheel internals (cursor position, bucket
+    /// layout), so save ∘ load ∘ save is the identity and heap-era
+    /// checkpoints stay compatible.
     pub fn ckpt_save(&self, w: &mut CkptWriter, mut enc: impl FnMut(&mut CkptWriter, &E)) {
         w.put_u64(self.next_seq);
         w.put_u64(self.scheduled_total);
-        let mut entries: Vec<&Entry<E>> = self.heap.iter().map(|Reverse(e)| e).collect();
-        entries.sort_by_key(|e| e.key);
+        let mut entries: Vec<(Key, &E)> = Vec::with_capacity(self.wheel.len());
+        self.wheel.for_each(|k, e| entries.push((*k, e)));
+        entries.sort_by_key(|(k, _)| *k);
         w.put_usize(entries.len());
-        for e in entries {
-            w.put_time(e.key.at);
-            enc(w, &e.event);
+        for (key, event) in entries {
+            w.put_time(key.at);
+            enc(w, event);
         }
     }
 
@@ -183,7 +169,7 @@ impl<E> EventQueue<E> {
                 "{n} pending events but only {next_seq} ever scheduled"
             )));
         }
-        self.heap.clear();
+        self.wheel.clear();
         self.next_seq = 0;
         self.scheduled_total = 0;
         let mut prev = SimTime::ZERO;
@@ -244,6 +230,18 @@ mod tests {
     }
 
     #[test]
+    fn schedule_after_saturates_instead_of_wrapping() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(100), "normal");
+        // A delay that would overflow u64 must park at SimTime::MAX, never
+        // wrap around into the past and pop first.
+        q.schedule_after(SimTime::from_ns(u64::MAX - 10), SimTime::from_ns(50), "far");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(100), "normal")));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn len_and_counters() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
@@ -256,6 +254,27 @@ mod tests {
         assert_eq!(q.scheduled_total(), 2);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_drains_one_instant_and_interleaves_with_schedule() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 'a');
+        q.schedule(SimTime::from_ns(10), 'b');
+        q.schedule(SimTime::from_ns(20), 'c');
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_ns(10)));
+        assert_eq!(batch, vec!['a', 'b']);
+        // A same-tick event scheduled after the drain lands in the next
+        // batch at the same instant — exactly the pop() interleave.
+        q.schedule(SimTime::from_ns(10), 'd');
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_ns(10)));
+        assert_eq!(batch, vec!['d']);
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_ns(20)));
+        assert_eq!(batch, vec!['c']);
+        assert_eq!(q.pop_batch(&mut batch), None);
     }
 
     #[test]
@@ -284,6 +303,32 @@ mod tests {
     }
 
     #[test]
+    fn ckpt_save_is_canonical_after_partial_drain() {
+        // The serialized form must depend only on the pending set, not on
+        // how far the wheel has advanced or cascaded: a hot, partially
+        // drained queue and a fresh queue holding the same remainder must
+        // serialize identically.
+        let mut hot = EventQueue::new();
+        let times = [7u64, 7, 300, 5_000, 5_000, 90_000, 1 << 33];
+        for &t in &times {
+            hot.schedule(SimTime::from_ns(t), t as u32);
+        }
+        for _ in 0..3 {
+            hot.pop(); // drain through a cascade or two
+        }
+        let mut w = CkptWriter::new();
+        hot.ckpt_save(&mut w, |w, e| w.put_u32(*e));
+        let hot_bytes = w.into_bytes();
+
+        let mut cold: EventQueue<u32> = EventQueue::new();
+        let mut r = CkptReader::new(&hot_bytes);
+        cold.ckpt_load(&mut r, |r| r.take_u32()).unwrap();
+        let mut w = CkptWriter::new();
+        cold.ckpt_save(&mut w, |w, e| w.put_u32(*e));
+        assert_eq!(w.into_bytes(), hot_bytes);
+    }
+
+    #[test]
     fn ckpt_load_rejects_inconsistent_counters() {
         let mut w = CkptWriter::new();
         w.put_u64(0); // next_seq
@@ -306,5 +351,20 @@ mod tests {
         q.schedule(SimTime::from_ns(20), "b");
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn scheduling_into_the_past_still_pops_in_key_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(100), "first");
+        assert_eq!(q.pop().unwrap().1, "first");
+        // The engine never schedules before the last popped time, but the
+        // public API tolerates it with exact (time, seq) ordering.
+        q.schedule(SimTime::from_ns(40), "past-b");
+        q.schedule(SimTime::from_ns(20), "past-a");
+        q.schedule(SimTime::from_ns(200), "future");
+        assert_eq!(q.pop().unwrap().1, "past-a");
+        assert_eq!(q.pop().unwrap().1, "past-b");
+        assert_eq!(q.pop().unwrap().1, "future");
     }
 }

@@ -4,7 +4,9 @@
 //!
 //! * [`SimTime`] — integer-nanosecond simulated time.
 //! * [`EventQueue`] — a deterministic discrete-event priority queue with a
-//!   strict FIFO tiebreak for simultaneous events.
+//!   strict FIFO tiebreak for simultaneous events, backed by a hierarchical
+//!   timing wheel (O(1) amortized schedule/pop, allocation-free steady
+//!   state, same-tick batch drain via [`EventQueue::pop_batch`]).
 //! * [`Resource`] — a FIFO timeline-reservation server modeling any contended
 //!   unit (flash channel, mesh link, flash plane, DMA pipe); and
 //!   [`BandwidthPipe`], a resource parameterized by byte bandwidth.
@@ -60,6 +62,7 @@ mod rng;
 mod stats;
 mod time;
 mod util;
+mod wheel;
 
 pub use check::{Violation, ViolationLog};
 pub use ckpt::{

@@ -104,6 +104,15 @@ impl SimTime {
         self.0.checked_add(rhs.0).map(SimTime)
     }
 
+    /// Saturating addition: returns [`SimTime::MAX`] instead of overflowing.
+    ///
+    /// Degenerate far-future offsets (retention timers, endurance horizons)
+    /// park at the end of time rather than wrapping into the past.
+    #[inline]
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
     /// The larger of two times.
     #[inline]
     pub fn max(self, rhs: SimTime) -> SimTime {
@@ -252,6 +261,14 @@ mod tests {
         let b = SimTime::from_ns(9);
         assert_eq!(a.saturating_sub(b), SimTime::ZERO);
         assert_eq!(b.saturating_sub(a), SimTime::from_ns(4));
+    }
+
+    #[test]
+    fn saturating_add_clamps_to_max() {
+        let near_max = SimTime::from_ns(u64::MAX - 2);
+        assert_eq!(near_max.saturating_add(SimTime::from_ns(5)), SimTime::MAX);
+        let a = SimTime::from_ns(5);
+        assert_eq!(a.saturating_add(a), SimTime::from_ns(10));
     }
 
     #[test]

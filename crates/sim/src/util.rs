@@ -27,6 +27,11 @@ pub struct UtilizationRecorder {
     /// Flattened `[window][tag]` busy-nanosecond bins.
     bins: Vec<u64>,
     totals: Vec<u64>,
+    /// Index and base time of the most recently written window — a pure
+    /// cache that lets the common case (an interval inside the window the
+    /// last one hit) skip the division entirely. Not checkpointed.
+    cached_win: usize,
+    cached_base: u64,
 }
 
 impl UtilizationRecorder {
@@ -44,6 +49,8 @@ impl UtilizationRecorder {
             tags,
             bins: Vec::new(),
             totals: vec![0; tags],
+            cached_win: 0,
+            cached_base: 0,
         }
     }
 
@@ -67,14 +74,27 @@ impl UtilizationRecorder {
         let w = self.window.as_ns();
         let mut cur = start.as_ns();
         let end = end.as_ns();
+        // Fast path: the interval lies inside the window the last record
+        // hit (typical for a busy resource's monotone reservation stream),
+        // so the window index is already known.
+        let i = self.cached_win * self.tags + tag;
+        if cur >= self.cached_base && end <= self.cached_base + w && i < self.bins.len() {
+            self.bins[i] += end - cur;
+            self.totals[tag] += end - cur;
+            return;
+        }
+        let mut win = (cur / w) as usize;
+        let mut win_end = (win as u64 + 1) * w;
         while cur < end {
-            let win = (cur / w) as usize;
-            let win_end = (win as u64 + 1) * w;
             let span = end.min(win_end) - cur;
             self.ensure_windows(win + 1);
             self.bins[win * self.tags + tag] += span;
             self.totals[tag] += span;
             cur += span;
+            self.cached_win = win;
+            self.cached_base = win_end - w;
+            win += 1;
+            win_end += w;
         }
     }
 

@@ -1,0 +1,158 @@
+//! `EventQueue` equivalence gate: the timing-wheel queue must be
+//! observationally identical to the binary heap it replaced.
+//!
+//! The reference model is the old implementation's contract, restated as a
+//! `BinaryHeap` over `(at, seq)`-keyed entries with a strict FIFO tiebreak.
+//! Randomized schedule/pop/peek interleavings — biased toward the shapes
+//! that stress a calendar queue (same-tick bursts, far-future outliers,
+//! dense near-horizon traffic, past-time schedules) — are driven through
+//! both structures, asserting identical `(time, event)` sequences
+//! throughout.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use networked_ssd::sim::{DetRng, EventQueue, Rng, SimTime};
+
+/// The old `EventQueue`: a binary heap ordered by `(at, seq)`.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    next_seq: u64,
+}
+
+impl HeapModel {
+    fn schedule(&mut self, at: SimTime, event: u32) {
+        self.heap.push(Reverse((at, self.next_seq, event)));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        self.heap.pop().map(|Reverse((at, _, e))| (at, e))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+}
+
+/// Draws a firing time biased toward the patterns a flash timing model
+/// produces, plus the adversarial extremes.
+fn draw_time(rng: &mut DetRng, now: u64) -> u64 {
+    match rng.gen_range(0..100u64) {
+        // Dense near-horizon traffic: control/bus events nanoseconds out.
+        0..=39 => now + rng.gen_range(0..200u64),
+        // Flash operation latencies: 3–100 µs.
+        40..=69 => now + rng.gen_range(3_000..100_000u64),
+        // Program/erase tails: up to 5 ms.
+        70..=84 => now + rng.gen_range(100_000..5_000_000u64),
+        // Same-tick burst at exactly `now`.
+        85..=92 => now,
+        // Past-time schedules (legal through the public API).
+        93..=96 => rng.gen_range(0..now.max(1)),
+        // Far-future outliers: retention/endurance timers, and the
+        // top-level wheel parking orbit.
+        97..=98 => now + rng.gen_range((1u64 << 30)..(1 << 45)),
+        _ => u64::MAX - rng.gen_range(0..4u64),
+    }
+}
+
+#[test]
+fn random_interleavings_match_the_heap_model() {
+    for seed in 0..8u64 {
+        let mut rng = DetRng::seed_from_u64(0xE0 ^ (seed * 0x9E37_79B9));
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut model = HeapModel::default();
+        let mut now = 0u64;
+        let mut next_event = 0u32;
+        for _ in 0..20_000 {
+            match rng.gen_range(0..10u64) {
+                // Schedule (weighted heavier so the queues stay populated).
+                0..=5 => {
+                    let at = draw_time(&mut rng, now);
+                    wheel.schedule(SimTime::from_ns(at), next_event);
+                    model.schedule(SimTime::from_ns(at), next_event);
+                    next_event += 1;
+                }
+                6..=8 => {
+                    let got = wheel.pop();
+                    let want = model.pop();
+                    assert_eq!(got, want, "seed {seed}: pop diverged");
+                    if let Some((at, _)) = got {
+                        now = now.max(at.as_ns());
+                    }
+                }
+                _ => {
+                    assert_eq!(
+                        wheel.peek_time(),
+                        model.peek_time(),
+                        "seed {seed}: peek diverged"
+                    );
+                }
+            }
+        }
+        // Drain both completely: every remaining event must agree.
+        loop {
+            let got = wheel.pop();
+            let want = model.pop();
+            assert_eq!(got, want, "seed {seed}: drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn same_tick_bursts_pop_in_fifo_order_like_the_heap() {
+    let mut rng = DetRng::seed_from_u64(0xB0257);
+    let mut wheel: EventQueue<u32> = EventQueue::new();
+    let mut model = HeapModel::default();
+    let mut next_event = 0u32;
+    // Many bursts sharing instants, interleaved with stragglers.
+    for burst in 0..200u64 {
+        let at = SimTime::from_ns(burst * 977);
+        for _ in 0..rng.gen_range(1..32usize) {
+            wheel.schedule(at, next_event);
+            model.schedule(at, next_event);
+            next_event += 1;
+        }
+        let straggler = SimTime::from_ns(burst * 977 + rng.gen_range(0..977u64));
+        wheel.schedule(straggler, next_event);
+        model.schedule(straggler, next_event);
+        next_event += 1;
+    }
+    loop {
+        let got = wheel.pop();
+        assert_eq!(got, model.pop(), "FIFO tiebreak diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn batch_dispatch_equals_one_by_one_pops() {
+    let mut rng = DetRng::seed_from_u64(0xBA7C4);
+    let mut batched: EventQueue<u32> = EventQueue::new();
+    let mut single: EventQueue<u32> = EventQueue::new();
+    let mut now = 0u64;
+    for i in 0..10_000u32 {
+        let at = draw_time(&mut rng, now);
+        now = now.saturating_add(rng.gen_range(0..50u64));
+        batched.schedule(SimTime::from_ns(at), i);
+        single.schedule(SimTime::from_ns(at), i);
+    }
+    let mut batch = Vec::new();
+    while let Some(t) = batched.pop_batch(&mut batch) {
+        for &e in &batch {
+            assert_eq!(
+                single.pop(),
+                Some((t, e)),
+                "batch dispatch diverged from single pops"
+            );
+        }
+        batch.clear();
+    }
+    assert!(single.pop().is_none(), "batch dispatch dropped events");
+}

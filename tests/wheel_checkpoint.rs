@@ -1,0 +1,177 @@
+//! Wheel-era checkpoint compatibility gate.
+//!
+//! The `EventQueue` checkpoint wire format predates the timing wheel: the
+//! old binary-heap queue serialized pending events in pop order, and the
+//! wheel keeps that format bit-for-bit. Two identities are asserted here,
+//! complementing `checkpoint_equivalence.rs` (which exercises whole-engine
+//! snapshots across the golden matrix and stays unchanged):
+//!
+//! 1. A queue checkpointed *hot* — cursor advanced mid-run, events spread
+//!    across every wheel level, same-tick batches partially drained —
+//!    restores byte-identically: `save ∘ load ∘ save` is the identity, and
+//!    the restored queue pops the exact remaining sequence.
+//! 2. A checkpoint written the way the heap-era code wrote it (pending
+//!    events in `(at, seq)` pop order, counters first) loads into the
+//!    wheel queue and replays correctly — old saved checkpoints stay
+//!    readable with no migration.
+
+use networked_ssd::sim::{CkptReader, CkptWriter, DetRng, EventQueue, Rng, SimTime};
+
+fn enc(w: &mut CkptWriter, e: &u32) {
+    w.put_u32(*e);
+}
+
+fn dec(r: &mut CkptReader) -> Result<u32, networked_ssd::sim::CkptError> {
+    r.take_u32()
+}
+
+fn save(q: &EventQueue<u32>) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    q.ckpt_save(&mut w, enc);
+    w.into_bytes()
+}
+
+fn load(bytes: &[u8]) -> EventQueue<u32> {
+    let mut q = EventQueue::new();
+    let mut r = CkptReader::new(bytes);
+    q.ckpt_load(&mut r, dec).expect("checkpoint loads");
+    r.finish().expect("checkpoint fully consumed");
+    q
+}
+
+/// Builds a queue whose wheel is hot: the cursor has advanced well past
+/// zero, pending events span every level (same-tick bursts, near-horizon
+/// deltas, flash-latency deltas, far-future timers, end-of-time parking),
+/// and part of the earliest batch has already been drained.
+fn hot_queue() -> EventQueue<u32> {
+    let mut rng = DetRng::seed_from_u64(0xB07);
+    let mut q = EventQueue::new();
+    let mut id = 0u32;
+    for _ in 0..2_000 {
+        let at = 1_000_000 + rng.gen_range(0..200u64);
+        q.schedule(SimTime::from_ns(at), id);
+        id += 1;
+    }
+    // Drain past the first instants so the cursor sits mid-window.
+    for _ in 0..500 {
+        q.pop();
+    }
+    let now = q.peek_time().expect("events pending").as_ns();
+    for _ in 0..2_000 {
+        let at = match rng.gen_range(0..5u64) {
+            0 => now,                                          // same tick
+            1 => now + rng.gen_range(0..256u64),               // level 0/1
+            2 => now + rng.gen_range(3_000..100_000u64),       // flash deltas
+            3 => now + rng.gen_range((1u64 << 20)..(1 << 40)), // high levels
+            _ => u64::MAX - rng.gen_range(0..2u64),            // parking orbit
+        };
+        q.schedule(SimTime::from_ns(at), id);
+        id += 1;
+    }
+    // Partially drain the head batch so restoration starts mid-batch.
+    for _ in 0..7 {
+        q.pop();
+    }
+    q
+}
+
+#[test]
+fn hot_wheel_checkpoint_restores_byte_identically() {
+    let q = hot_queue();
+    let bytes = save(&q);
+    let restored = load(&bytes);
+    assert_eq!(restored.len(), q.len());
+    assert_eq!(restored.scheduled_total(), q.scheduled_total());
+    // save ∘ load ∘ save is the identity on the serialized form.
+    assert_eq!(save(&restored), bytes, "re-serialization diverged");
+
+    // And the restored queue replays the exact remaining schedule.
+    let mut original = q;
+    let mut restored = restored;
+    loop {
+        let want = original.pop();
+        assert_eq!(restored.pop(), want, "restored queue diverged");
+        if want.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn checkpoint_bytes_are_independent_of_wheel_history() {
+    // Two queues holding the same pending set — one filled cold, one that
+    // reached the state through drains and cascades — must serialize to
+    // the same bytes (the format is a pure function of the pending set).
+    let hot = hot_queue();
+    let mut pending = Vec::new();
+    {
+        // Reconstruct the pending set via a restored clone (pop order).
+        let mut probe = load(&save(&hot));
+        while let Some((at, e)) = probe.pop() {
+            pending.push((at, e));
+        }
+    }
+    let mut cold = EventQueue::new();
+    for &(at, e) in &pending {
+        cold.schedule(at, e);
+    }
+    let hot_bytes = save(&hot);
+    // The cold rebuild has different counters (fresh seq numbering), so
+    // compare the event payload region by loading both and re-saving
+    // through the same normalization.
+    let renorm_hot = save(&load(&hot_bytes));
+    assert_eq!(renorm_hot, hot_bytes, "normalization must be stable");
+    let mut cold_restored = load(&save(&cold));
+    let mut hot_restored = load(&hot_bytes);
+    loop {
+        let want = hot_restored.pop();
+        assert_eq!(cold_restored.pop(), want, "pending sets diverged");
+        if want.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn heap_era_checkpoint_loads_into_the_wheel() {
+    // Write a checkpoint exactly the way the heap-era implementation did:
+    // `next_seq`, `scheduled_total`, then the pending events in strict
+    // `(at, seq)` pop order. The events deliberately include a same-tick
+    // burst (FIFO order mattered to the heap too) and a far-future timer.
+    let events: [(u64, u32); 7] = [
+        (500, 10),
+        (700, 11),
+        (700, 12),
+        (700, 13),
+        (3_000, 14),
+        (5_000_000, 15),
+        (u64::MAX, 16),
+    ];
+    let mut w = CkptWriter::new();
+    w.put_u64(40); // next_seq after a long run
+    w.put_u64(40); // scheduled_total
+    w.put_usize(events.len());
+    for &(at, e) in &events {
+        w.put_time(SimTime::from_ns(at));
+        w.put_u32(e);
+    }
+    let bytes = w.into_bytes();
+
+    let mut q = load(&bytes);
+    assert_eq!(q.len(), events.len());
+    assert_eq!(q.scheduled_total(), 40);
+    for &(at, e) in &events {
+        assert_eq!(q.pop(), Some((SimTime::from_ns(at), e)), "replay diverged");
+    }
+    assert_eq!(q.pop(), None);
+
+    // Events scheduled after the restore sort behind the restored burst —
+    // the saved `next_seq` is respected.
+    let mut q = load(&bytes);
+    q.schedule(SimTime::from_ns(700), 99);
+    assert_eq!(q.pop(), Some((SimTime::from_ns(500), 10)));
+    assert_eq!(q.pop(), Some((SimTime::from_ns(700), 11)));
+    assert_eq!(q.pop(), Some((SimTime::from_ns(700), 12)));
+    assert_eq!(q.pop(), Some((SimTime::from_ns(700), 13)));
+    assert_eq!(q.pop(), Some((SimTime::from_ns(700), 99)));
+}
