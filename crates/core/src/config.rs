@@ -5,7 +5,7 @@ use core::fmt;
 
 use nssd_faults::FaultConfig;
 use nssd_flash::{FlashTiming, Geometry};
-use nssd_ftl::{AllocPolicy, GcConfig};
+use nssd_ftl::{AllocPolicy, GcConfig, RedundancyConfig};
 use nssd_host::HostParams;
 use nssd_interconnect::{BusParams, MeshParams};
 use nssd_sim::SimTime;
@@ -242,6 +242,11 @@ pub struct SsdConfig {
     pub endurance_limit: Option<u32>,
     /// Garbage-collection configuration.
     pub gc: GcConfig,
+    /// Intra-SSD parity redundancy (off by default). When enabled, parity
+    /// groups of `stripe_width` chips absorb a chip fail-stop: the engine
+    /// serves degraded reads by fabric-routed reconstruction and runs a
+    /// paced background rebuild.
+    pub redundancy: RedundancyConfig,
     /// Flash channel transfer rate (MT/s); Table II: 1000.
     pub channel_mts: u64,
     /// Baseline channel width in bits; Table II: 8 (pSSD widens to 16,
@@ -294,6 +299,7 @@ impl SsdConfig {
             op_ratio: 0.125,
             endurance_limit: None,
             gc: GcConfig::evaluation_defaults(),
+            redundancy: RedundancyConfig::off(),
             channel_mts: 1000,
             base_width_bits: 8,
             ctrl_msg_latency: SimTime::from_ns(100),
@@ -346,9 +352,14 @@ impl SsdConfig {
         cfg
     }
 
-    /// Host-visible logical capacity in bytes.
+    /// Host-visible logical capacity in bytes. Mirrors the FTL's capacity
+    /// computation, including the parity reservation when redundancy is on.
     pub fn logical_bytes(&self) -> u64 {
-        let pages = (self.geometry.page_count() as f64 * (1.0 - self.op_ratio)).floor() as u64;
+        let mut pages = (self.geometry.page_count() as f64 * (1.0 - self.op_ratio)).floor() as u64;
+        if self.redundancy.enabled {
+            let sw = self.redundancy.stripe_width as u64;
+            pages = pages * (sw - 1) / sw;
+        }
         pages * self.geometry.page_bytes as u64
     }
 
@@ -418,6 +429,7 @@ impl SsdConfig {
         if self.ftl_cores == 0 {
             return Err("ftl_cores must be nonzero".into());
         }
+        self.redundancy.validate(&self.geometry)?;
         self.faults.validate()?;
         if let Some(spec) = self.faults.chip_failure {
             if spec.channel >= self.geometry.channels || spec.way >= self.geometry.ways {
@@ -505,6 +517,20 @@ mod tests {
         let mut c = SsdConfig::new(Architecture::BaseSsd);
         c.channel_mts = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn redundancy_config_validated_and_scales_capacity() {
+        let mut c = SsdConfig::tiny(Architecture::BaseSsd);
+        let plain = c.logical_bytes();
+        c.redundancy = RedundancyConfig::with_stripe(2);
+        assert!(c.validate().is_ok());
+        // Half the logical space is reserved for parity at width 2, and the
+        // preset must agree with the FTL's own computation.
+        assert_eq!(c.logical_bytes(), plain / 2);
+        // tiny() has 2 channels: a width-4 stripe cannot tile them.
+        c.redundancy = RedundancyConfig::with_stripe(4);
+        assert!(c.validate().unwrap_err().contains("channels"));
     }
 
     #[test]

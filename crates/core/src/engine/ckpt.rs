@@ -23,8 +23,8 @@ use super::{Event, MtRuntime, PendingSpan, ReqState, SsdSim, TenantStats, TransS
 
 /// Serialized floor of one record of each variable-length collection, for
 /// [`CkptReader::take_count`] allocation caps.
-const REQ_MIN_BYTES: usize = 1 + 8 + 4 + 4 + 4;
-const TRANS_MIN_BYTES: usize = 8 + 6 * 4 + 1 + 1 + 4;
+const REQ_MIN_BYTES: usize = 1 + 8 + 4 + 4 + 4 + 1 + 1;
+const TRANS_MIN_BYTES: usize = 8 + 6 * 4 + 1 + 1 + 4 + 1 + 1;
 const SPAN_MIN_BYTES: usize = 8 + 8 + 4 + 4;
 const TENANT_MIN_BYTES: usize = 8 + 4 + 8;
 
@@ -42,6 +42,9 @@ fn enc_event(w: &mut CkptWriter, ev: &Event) {
         Event::GcCopyProgDone(i) => (9, Some(i)),
         Event::GcEraseDone(i) => (10, Some(i)),
         Event::ChipFail => (11, None),
+        Event::RebuildPump => (12, None),
+        Event::RebuildXferDone(i) => (13, Some(i)),
+        Event::RebuildProgDone(i) => (14, Some(i)),
     };
     w.put_u8(tag);
     if let Some(i) = payload {
@@ -58,6 +61,7 @@ struct EventBounds {
     trans: usize,
     gc_copies: usize,
     gc_victims: usize,
+    rebuild_copies: usize,
     chip_failure: bool,
 }
 
@@ -92,6 +96,9 @@ fn dec_event(r: &mut CkptReader, b: EventBounds) -> Result<Event, CkptError> {
             }
             Event::ChipFail
         }
+        12 => Event::RebuildPump,
+        13 => Event::RebuildXferDone(idx(r, b.rebuild_copies, "rebuild copy")?),
+        14 => Event::RebuildProgDone(idx(r, b.rebuild_copies, "rebuild copy")?),
         t => return Err(CkptError::Invalid(format!("unknown event tag {t}"))),
     })
 }
@@ -179,6 +186,8 @@ impl SsdSim {
             w.put_u32(req.tenant as u32);
             w.put_u32(req.pages_total);
             w.put_u32(req.pages_done);
+            w.put_bool(req.failed);
+            w.put_bool(req.degraded);
         }
         w.put_usize(self.req_free.len());
         for &i in &self.req_free {
@@ -200,6 +209,8 @@ impl SsdSim {
             w.put_bool(t.is_read);
             w.put_u8(t.halves_left);
             w.put_u32(t.mesh_ctrl);
+            w.put_bool(t.failed);
+            w.put_bool(t.degraded);
         }
         w.put_usize(self.trans_free.len());
         for &i in &self.trans_free {
@@ -221,6 +232,18 @@ impl SsdSim {
         }
         w.put_usize(self.inflight_io);
         self.gc.ckpt_save(w);
+        self.rebuild.ckpt_save(w);
+        for group in [&self.parity_pending, &self.parity_rot] {
+            w.put_usize(group.len());
+            for &v in group.iter() {
+                w.put_u32(v);
+            }
+        }
+        w.put_usize(self.lost_pages.len());
+        for &l in &self.lost_pages {
+            w.put_u64(l);
+        }
+        self.degraded_lat.ckpt_save(w);
         for word in self.rng.state() {
             w.put_u64(word);
         }
@@ -427,12 +450,16 @@ impl SsdSim {
                     "request progress {pages_done}/{pages_total} inconsistent"
                 )));
             }
+            let failed = r.take_bool()?;
+            let degraded = r.take_bool()?;
             requests.push(ReqState {
                 op,
                 submitted,
                 tenant: tenant as u16,
                 pages_total,
                 pages_done,
+                failed,
+                degraded,
             });
         }
         let n = r.take_count(8)?;
@@ -477,6 +504,8 @@ impl SsdSim {
                     "mesh controller {mesh_ctrl} out of range"
                 )));
             }
+            let failed = r.take_bool()?;
+            let degraded = r.take_bool()?;
             trans.push(TransState {
                 req,
                 addr: nssd_flash::PageAddr {
@@ -490,6 +519,8 @@ impl SsdSim {
                 is_read,
                 halves_left,
                 mesh_ctrl,
+                failed,
+                degraded,
             });
         }
         let n = r.take_count(8)?;
@@ -535,6 +566,39 @@ impl SsdSim {
         }
         self.gc
             .ckpt_load(r, g.page_count(), self.ftl.logical_pages(), g.block_count())?;
+        self.rebuild
+            .ckpt_load(r, g.page_count(), self.ftl.logical_pages())?;
+        for field in ["parity_pending", "parity_rot"] {
+            let n = r.take_count(4)?;
+            let group = if field == "parity_pending" {
+                &mut self.parity_pending
+            } else {
+                &mut self.parity_rot
+            };
+            if n != group.len() {
+                return Err(CkptError::Invalid(format!(
+                    "checkpoint has {n} {field} groups, configuration has {}",
+                    group.len()
+                )));
+            }
+            for v in group.iter_mut() {
+                *v = r.take_u32()?;
+            }
+        }
+        let n = r.take_count(8)?;
+        let mut lost_pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = r.take_u64()?;
+            if l >= self.ftl.logical_pages() {
+                return Err(CkptError::Invalid(format!("lost lpn {l} out of range")));
+            }
+            if lost_pages.last().is_some_and(|&p| l <= p) {
+                return Err(CkptError::Invalid("lost pages not sorted".into()));
+            }
+            lost_pages.push(l);
+        }
+        self.lost_pages = lost_pages;
+        self.degraded_lat = Histogram::ckpt_load(r)?;
         let mut state = [0u64; 4];
         for word in &mut state {
             *word = r.take_u64()?;
@@ -576,6 +640,7 @@ impl SsdSim {
             trans: trans.len(),
             gc_copies: self.gc.copy_count(),
             gc_victims: self.gc.victim_count(),
+            rebuild_copies: self.rebuild.copy_count(),
             chip_failure: self.cfg.faults.chip_failure.is_some(),
         };
         self.queue.ckpt_load(r, |r| dec_event(r, bounds))?;

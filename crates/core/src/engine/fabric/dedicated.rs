@@ -6,7 +6,9 @@ use nssd_flash::{FlashCommand, PageAddr};
 use nssd_interconnect::DedicatedBus;
 use nssd_sim::SimTime;
 
-use super::{CmdStart, FabricBackend, FabricCtx, GcEcc, XferPlan};
+use super::{
+    reconstruct_staged, CmdStart, FabricBackend, FabricCtx, GcEcc, SurvivorRead, XferPlan,
+};
 
 #[derive(Debug)]
 pub(crate) struct DedicatedFabric {
@@ -113,6 +115,20 @@ impl FabricBackend for DedicatedFabric {
                 tag,
             )
             .end
+    }
+
+    fn reserve_reconstruct(
+        &self,
+        ctx: &mut FabricCtx,
+        survivors: &[SurvivorRead],
+        dst: Option<PageAddr>,
+        bytes: u32,
+        ecc: GcEcc,
+        tag: usize,
+    ) -> SimTime {
+        // No chip-to-chip connectivity at all: every survivor bounces
+        // through the controller over the narrow dedicated bus.
+        reconstruct_staged(self, ctx, survivors, dst, bytes, ecc, tag)
     }
 
     fn source_idle(&self, ctx: &FabricCtx, addr: PageAddr, _use_v: bool, at: SimTime) -> bool {

@@ -7,7 +7,9 @@ use nssd_flash::{FlashCommand, PageAddr};
 use nssd_interconnect::{ControlPacket, DataPacket, Mesh, MeshEndpoint, MeshParams};
 use nssd_sim::SimTime;
 
-use super::{CmdStart, FabricBackend, FabricCtx, GcEcc, XferPlan};
+use super::{
+    reconstruct_staged, CmdStart, FabricBackend, FabricCtx, GcEcc, SurvivorRead, XferPlan,
+};
 
 #[derive(Debug)]
 pub(crate) struct MeshFabric {
@@ -127,6 +129,7 @@ impl FabricBackend for MeshFabric {
             first: end,
             second: None,
             ctrl,
+            failed: false,
         }
     }
 
@@ -153,6 +156,7 @@ impl FabricBackend for MeshFabric {
             first: end,
             second: None,
             ctrl,
+            failed: false,
         }
     }
 
@@ -191,6 +195,42 @@ impl FabricBackend for MeshFabric {
         let flits = ControlPacket::for_command(FlashCommand::XferOut).flits()
             + DataPacket::new(bytes).flits();
         self.reserve_path(ctx, Self::chip(src), Self::chip(dst), flits, at, tag)
+    }
+
+    fn reserve_reconstruct(
+        &self,
+        ctx: &mut FabricCtx,
+        survivors: &[SurvivorRead],
+        dst: Option<PageAddr>,
+        bytes: u32,
+        ecc: GcEcc,
+        tag: usize,
+    ) -> SimTime {
+        match dst {
+            // Rebuild: every survivor routes directly chip-to-chip to the
+            // destination — no controller bounce, the mesh's whole point.
+            Some(d) => {
+                let flits = ControlPacket::for_command(FlashCommand::XferOut).flits()
+                    + DataPacket::new(bytes).flits();
+                let mut gathered = SimTime::ZERO;
+                for s in survivors {
+                    let end = self.reserve_path(
+                        ctx,
+                        Self::chip(s.addr),
+                        Self::chip(d),
+                        flits,
+                        s.ready,
+                        tag,
+                    );
+                    gathered = gathered.max(end);
+                }
+                gathered
+            }
+            // Degraded host read: the data must end at a controller anyway;
+            // gather the survivors over their greedily-chosen ejection
+            // paths.
+            None => reconstruct_staged(self, ctx, survivors, dst, bytes, ecc, tag),
+        }
     }
 
     fn source_idle(&self, ctx: &FabricCtx, addr: PageAddr, _use_v: bool, at: SimTime) -> bool {

@@ -72,6 +72,11 @@ pub(crate) struct XferPlan {
     pub second: Option<SimTime>,
     /// The controller chosen for this transaction (see [`CmdStart::ctrl`]).
     pub ctrl: u32,
+    /// Whether a CRC-framed leg exhausted its retransmission budget: the
+    /// payload never arrived intact and the request must surface a
+    /// host-visible I/O error. Always `false` on unframed (dedicated) and
+    /// mesh legs, which have no end-to-end check to fail.
+    pub failed: bool,
 }
 
 impl XferPlan {
@@ -81,6 +86,15 @@ impl XferPlan {
             first: end,
             second: None,
             ctrl: 0,
+            failed: false,
+        }
+    }
+
+    /// A single-path CRC-framed transfer whose delivery outcome is known.
+    pub(crate) fn single_checked(end: SimTime, delivered: bool) -> Self {
+        XferPlan {
+            failed: !delivered,
+            ..XferPlan::single(end)
         }
     }
 
@@ -104,6 +118,16 @@ pub(crate) struct GcEcc {
     /// On-die check for a direct flash-to-flash copy, or `None` when the
     /// ECC mode forbids bypassing the controller's decoder entirely.
     pub f2f: Option<SimTime>,
+}
+
+/// One surviving stripe member feeding a parity reconstruction: where it
+/// sits, when its array read lands the data in the page register, and the
+/// controller its command handshake chose (meaningful on the mesh only).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SurvivorRead {
+    pub addr: PageAddr,
+    pub ready: SimTime,
+    pub ctrl: u32,
 }
 
 /// One interconnect architecture's data-movement implementation.
@@ -202,9 +226,61 @@ pub(crate) trait FabricBackend: fmt::Debug + Send + Sync {
         tag: usize,
     ) -> SimTime;
 
+    /// Routes one parity reconstruction: every survivor's page moves off
+    /// its chip and is XOR-combined, completing at the controller for a
+    /// degraded host read (`dst: None`) or at the destination chip for a
+    /// rebuild re-placement (`dst: Some`). Survivor array reads are already
+    /// timed by the engine (`SurvivorRead::ready`); this method only moves
+    /// the data. Networked topologies route rebuild traffic flash-to-flash;
+    /// the dedicated baseline bounces every survivor through the
+    /// controller (see [`reconstruct_staged`]).
+    #[allow(clippy::too_many_arguments)] // mirrors reserve_f2f_copy's shape
+    fn reserve_reconstruct(
+        &self,
+        ctx: &mut FabricCtx,
+        survivors: &[SurvivorRead],
+        dst: Option<PageAddr>,
+        bytes: u32,
+        ecc: GcEcc,
+        tag: usize,
+    ) -> SimTime;
+
     /// Whether the channel a GC source read at `addr` would use is idle at
     /// `at` (the semi-preemptive yield probe).
     fn source_idle(&self, ctx: &FabricCtx, addr: PageAddr, use_v: bool, at: SimTime) -> bool;
+}
+
+/// The controller-staged reconstruction every bus fabric can fall back to:
+/// each survivor is read out to the controller over its own channel, the
+/// XOR combine waits behind the slowest arrival (paying the staged ECC
+/// charge), and a rebuild destination additionally costs the DRAM
+/// round-trip plus the write-in — the controller-bounce the paper's
+/// interconnection network exists to avoid.
+pub(crate) fn reconstruct_staged(
+    fabric: &dyn FabricBackend,
+    ctx: &mut FabricCtx,
+    survivors: &[SurvivorRead],
+    dst: Option<PageAddr>,
+    bytes: u32,
+    ecc: GcEcc,
+    tag: usize,
+) -> SimTime {
+    let mut gathered = SimTime::ZERO;
+    for s in survivors {
+        let plan = fabric.reserve_read_out(ctx, s.addr, bytes, s.ctrl, s.ready, tag);
+        for end in plan.ends() {
+            gathered = gathered.max(end);
+        }
+    }
+    let combined = gathered + ecc.staged;
+    match dst {
+        None => combined,
+        Some(d) => {
+            let staged = ctx.host.dram_roundtrip(combined, bytes as u64, tag);
+            let plan = fabric.reserve_write_in(ctx, d, bytes, staged.end, tag);
+            plan.ends().fold(SimTime::ZERO, SimTime::max)
+        }
+    }
 }
 
 /// Construction-time dispatch: the only place an [`Architecture`] chooses
@@ -252,7 +328,7 @@ pub(crate) fn staged_copy_packetized(
     at: SimTime,
     tag: usize,
 ) -> SimTime {
-    let out = reserve_with_link_faults(
+    let (out, _) = reserve_with_link_faults(
         &mut ctx.h_channels[src.channel as usize],
         ctx.faults,
         at,
@@ -270,5 +346,6 @@ pub(crate) fn staged_copy_packetized(
         bytes as u64,
         tag,
     )
+    .0
     .end
 }

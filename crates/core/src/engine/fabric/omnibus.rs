@@ -9,7 +9,10 @@ use nssd_interconnect::{Omnibus, PacketBus};
 use nssd_sim::SimTime;
 
 use super::super::reserve_with_link_faults;
-use super::{staged_copy_packetized, CmdStart, FabricBackend, FabricCtx, GcEcc, XferPlan};
+use super::{
+    reconstruct_staged, staged_copy_packetized, CmdStart, FabricBackend, FabricCtx, GcEcc,
+    SurvivorRead, XferPlan,
+};
 
 /// How host I/O data is routed across the two path classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +141,7 @@ impl OmnibusFabric {
     ) -> XferPlan {
         let dur_h = dur_of(&self.h, bytes);
         let dur_v = dur_of(&self.v, bytes);
-        let r = match self.choose_pn_path(ctx, addr, at) {
+        let (r, delivered) = match self.choose_pn_path(ctx, addr, at) {
             PnPath::H => reserve_with_link_faults(
                 &mut ctx.h_channels[addr.channel as usize],
                 ctx.faults,
@@ -159,7 +162,7 @@ impl OmnibusFabric {
                 )
             }
         };
-        XferPlan::single(r.end)
+        XferPlan::single_checked(r.end, delivered)
     }
 
     /// Split data movement: both halves reserved (h first), finishing
@@ -176,41 +179,42 @@ impl OmnibusFabric {
         let (bytes_h, bytes_v, v, v_at) = self.split_plan(ctx, addr, at, bytes);
         let mut first = None;
         let mut second = None;
+        let mut failed = false;
         if bytes_h > 0 {
             let dur = dur_of(&self.h, bytes_h);
-            first = Some(
-                reserve_with_link_faults(
-                    &mut ctx.h_channels[addr.channel as usize],
-                    ctx.faults,
-                    at,
-                    dur,
-                    bytes_h as u64,
-                    tag,
-                )
-                .end,
+            let (r, delivered) = reserve_with_link_faults(
+                &mut ctx.h_channels[addr.channel as usize],
+                ctx.faults,
+                at,
+                dur,
+                bytes_h as u64,
+                tag,
             );
+            first = Some(r.end);
+            failed |= !delivered;
         }
         if bytes_v > 0 {
             let dur = dur_of(&self.v, bytes_v);
-            let end = reserve_with_link_faults(
+            let (r, delivered) = reserve_with_link_faults(
                 &mut ctx.v_channels[v],
                 ctx.faults,
                 v_at,
                 dur,
                 bytes_v as u64,
                 tag,
-            )
-            .end;
+            );
+            failed |= !delivered;
             if first.is_none() {
-                first = Some(end);
+                first = Some(r.end);
             } else {
-                second = Some(end);
+                second = Some(r.end);
             }
         }
         XferPlan {
             first: first.expect("split plan moves at least one byte"),
             second,
             ctrl: 0,
+            failed,
         }
     }
 
@@ -229,7 +233,7 @@ impl OmnibusFabric {
                 // chip over the 8-bit h-channel — the v-channels are
                 // chip-to-chip only, so host I/O cannot use them.
                 let dur = dur_of(&self.h, bytes);
-                let r = reserve_with_link_faults(
+                let (r, delivered) = reserve_with_link_faults(
                     &mut ctx.h_channels[addr.channel as usize],
                     ctx.faults,
                     at,
@@ -237,7 +241,7 @@ impl OmnibusFabric {
                     bytes as u64,
                     tag,
                 );
-                XferPlan::single(r.end)
+                XferPlan::single_checked(r.end, delivered)
             }
             HostRouting::Adaptive => self.adaptive_xfer(ctx, addr, bytes, at, tag, dur_of),
             HostRouting::Split => self.split_xfer(ctx, addr, bytes, at, tag, dur_of),
@@ -351,6 +355,7 @@ impl FabricBackend for OmnibusFabric {
                     bytes as u64,
                     tag,
                 )
+                .0
                 .end + on_die
             }
             None => {
@@ -359,6 +364,47 @@ impl FabricBackend for OmnibusFabric {
                 staged_copy_packetized(ctx, &self.h, src, dst, bytes, ecc.staged, at, tag)
             }
         }
+    }
+
+    fn reserve_reconstruct(
+        &self,
+        ctx: &mut FabricCtx,
+        survivors: &[SurvivorRead],
+        dst: Option<PageAddr>,
+        bytes: u32,
+        ecc: GcEcc,
+        tag: usize,
+    ) -> SimTime {
+        // A rebuild re-placement can move every survivor flash-to-flash
+        // over the shared v-channel and XOR on-die at the destination —
+        // the parity group lives within one way, so all survivors reach
+        // the same v-channel (§VI-A applied to reconstruction). Degraded
+        // host reads must end at the controller and use the adaptive
+        // staged gather instead.
+        if let (Some(d), Some(on_die)) = (dst, ecc.f2f) {
+            let group_way = survivors.first().map(|s| s.addr.way);
+            if let Some(v) = group_way.and_then(|w| self.omni.f2f_v_channel(w, d.way)) {
+                let mut gathered = SimTime::ZERO;
+                for s in survivors {
+                    let msgs = self
+                        .omni
+                        .f2f_handshake_messages(s.addr.channel, d.channel, v);
+                    let hs = self.omni.handshake_time(msgs, self.ctrl_msg_latency);
+                    let dur = self.v.xfer_time(bytes);
+                    let (r, _) = reserve_with_link_faults(
+                        &mut ctx.v_channels[v as usize],
+                        ctx.faults,
+                        s.ready + hs,
+                        dur,
+                        bytes as u64,
+                        tag,
+                    );
+                    gathered = gathered.max(r.end + on_die);
+                }
+                return gathered;
+            }
+        }
+        reconstruct_staged(self, ctx, survivors, dst, bytes, ecc, tag)
     }
 
     fn source_idle(&self, ctx: &FabricCtx, addr: PageAddr, use_v: bool, at: SimTime) -> bool {

@@ -7,7 +7,10 @@ use nssd_interconnect::PacketBus;
 use nssd_sim::SimTime;
 
 use super::super::reserve_with_link_faults;
-use super::{staged_copy_packetized, CmdStart, FabricBackend, FabricCtx, GcEcc, XferPlan};
+use super::{
+    reconstruct_staged, staged_copy_packetized, CmdStart, FabricBackend, FabricCtx, GcEcc,
+    SurvivorRead, XferPlan,
+};
 
 #[derive(Debug)]
 pub(crate) struct PacketizedFabric {
@@ -45,7 +48,7 @@ impl FabricBackend for PacketizedFabric {
         tag: usize,
     ) -> XferPlan {
         let dur = self.h.write_in_time(bytes);
-        let r = reserve_with_link_faults(
+        let (r, delivered) = reserve_with_link_faults(
             &mut ctx.h_channels[addr.channel as usize],
             ctx.faults,
             at,
@@ -53,7 +56,7 @@ impl FabricBackend for PacketizedFabric {
             bytes as u64,
             tag,
         );
-        XferPlan::single(r.end)
+        XferPlan::single_checked(r.end, delivered)
     }
 
     fn reserve_read_out(
@@ -66,7 +69,7 @@ impl FabricBackend for PacketizedFabric {
         tag: usize,
     ) -> XferPlan {
         let dur = self.h.read_out_time(bytes);
-        let r = reserve_with_link_faults(
+        let (r, delivered) = reserve_with_link_faults(
             &mut ctx.h_channels[addr.channel as usize],
             ctx.faults,
             at,
@@ -74,7 +77,7 @@ impl FabricBackend for PacketizedFabric {
             bytes as u64,
             tag,
         );
-        XferPlan::single(r.end)
+        XferPlan::single_checked(r.end, delivered)
     }
 
     fn gc_read_command(
@@ -102,6 +105,20 @@ impl FabricBackend for PacketizedFabric {
         tag: usize,
     ) -> SimTime {
         staged_copy_packetized(ctx, &self.h, src, dst, bytes, ecc.staged, at, tag)
+    }
+
+    fn reserve_reconstruct(
+        &self,
+        ctx: &mut FabricCtx,
+        survivors: &[SurvivorRead],
+        dst: Option<PageAddr>,
+        bytes: u32,
+        ecc: GcEcc,
+        tag: usize,
+    ) -> SimTime {
+        // No vertical connectivity: reconstruction stages through the
+        // controller, but over the doubled-width framed bus.
+        reconstruct_staged(self, ctx, survivors, dst, bytes, ecc, tag)
     }
 
     fn source_idle(&self, ctx: &FabricCtx, addr: PageAddr, _use_v: bool, at: SimTime) -> bool {

@@ -162,12 +162,22 @@ impl SsdSim {
         let plan = self.gc.plan.as_mut().expect("GC enabled");
         let victim_mask = plan.placement.begin_event(&mut self.ftl);
         self.ftl.note_gc_trigger();
-        let victims = plan.victim.select(
+        let mut victims = plan.victim.select(
             self.ftl.blocks(),
             self.cfg.gc.victims_per_trigger as usize,
             victim_mask,
             &mut self.rng,
         );
+        if let Some((dc, dw)) = self.ftl.dead_chip() {
+            // Dead-chip blocks look like attractive victims (lots of
+            // garbage) but their array is unreadable; the rebuild, not GC,
+            // drains them.
+            let g = self.cfg.geometry;
+            victims.retain(|&pbn| {
+                let a = g.block_addr(pbn);
+                a.channel != dc || a.way != dw
+            });
+        }
         if victims.is_empty() {
             if std::env::var("NSSD_GC_DEBUG").is_ok() {
                 eprintln!(

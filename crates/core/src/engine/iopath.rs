@@ -9,7 +9,7 @@
 use nssd_flash::{FlashCommand, PageAddr};
 use nssd_host::IoOp;
 
-use super::{Event, SsdSim};
+use super::{Event, SsdSim, SurvivorRead};
 use crate::Traffic;
 
 impl SsdSim {
@@ -20,11 +20,13 @@ impl SsdSim {
     /// StartTrans: reads issue the command and the array read; writes move
     /// the page data toward the chip.
     pub(crate) fn on_start_trans(&mut self, t: usize) {
-        let (addr, is_read) = {
+        let (addr, is_read, degraded) = {
             let tr = &self.trans[t];
-            (tr.addr, tr.is_read)
+            (tr.addr, tr.is_read, tr.degraded)
         };
-        if is_read {
+        if degraded {
+            self.start_degraded_read(t, addr);
+        } else if is_read {
             self.start_read_command(t, addr);
         } else {
             self.start_write_data_in(t, addr);
@@ -44,6 +46,42 @@ impl SsdSim {
         self.queue.schedule(ready, Event::ArrayDone(t));
     }
 
+    /// A read whose mapped page sits on the fail-stopped chip: the data is
+    /// reconstructed from the surviving stripe members instead of touching
+    /// the dead chip. Every survivor pays a full command handshake and
+    /// array read; the fabric then routes the gather and the XOR combine
+    /// (see [`super::FabricBackend::reserve_reconstruct`]), after which the
+    /// page flows down the normal host-DMA tail.
+    fn start_degraded_read(&mut self, t: usize, addr: PageAddr) {
+        let tag = Traffic::io(true).tag();
+        let now = self.now;
+        let page = self.page_bytes();
+        let ecc = self.gc_ecc();
+        let survivors = self.ftl.redundancy().survivors(addr);
+        debug_assert!(!survivors.is_empty(), "stripe width >= 2 leaves a survivor");
+        let mut reads = Vec::with_capacity(survivors.len());
+        for s in survivors {
+            let cmd = {
+                let (fabric, mut ctx) = self.fabric_parts();
+                fabric.control_handshake(&mut ctx, s, FlashCommand::ReadPage, now, tag)
+            };
+            let chip = self.chip_index(s);
+            let fault = self.sample_read_fault(s);
+            let read = self.chips[chip].reserve_read(s.die, s.plane, cmd.end);
+            let ready = self.apply_read_fault(chip, s, read.end, fault);
+            reads.push(SurvivorRead {
+                addr: s,
+                ready,
+                ctrl: cmd.ctrl,
+            });
+        }
+        let (fabric, mut ctx) = self.fabric_parts();
+        let done = fabric.reserve_reconstruct(&mut ctx, &reads, None, page, ecc, tag);
+        self.faults.note_reconstructed_read();
+        self.trans[t].halves_left = 1;
+        self.queue.schedule(done, Event::XferHalfDone(t));
+    }
+
     fn start_write_data_in(&mut self, t: usize, addr: PageAddr) {
         let tag = Traffic::io(false).tag();
         let page = self.page_bytes();
@@ -52,6 +90,7 @@ impl SsdSim {
         let plan = fabric.reserve_write_in(&mut ctx, addr, page, now, tag);
         self.trans[t].mesh_ctrl = plan.ctrl;
         self.trans[t].halves_left = plan.halves();
+        self.trans[t].failed |= plan.failed;
         for end in plan.ends() {
             self.queue.schedule(end, Event::XferHalfDone(t));
         }
@@ -76,6 +115,7 @@ impl SsdSim {
         let (fabric, mut ctx) = self.fabric_parts();
         let plan = fabric.reserve_read_out(&mut ctx, addr, page, ctrl, now, tag);
         self.trans[t].halves_left = plan.halves();
+        self.trans[t].failed |= plan.failed;
         for end in plan.ends() {
             self.queue.schedule(end, Event::XferHalfDone(t));
         }

@@ -10,12 +10,13 @@ mod ckpt;
 mod fabric;
 mod gcrun;
 mod iopath;
+mod rebuild;
 
 use std::cell::RefCell;
 
 use nssd_faults::{FaultEngine, ReadFault, ReliabilityStats};
 use nssd_flash::{FlashChip, PageAddr, Pbn, Ppn};
-use nssd_ftl::{Ftl, FtlConfig, FtlError, Lpn, Relocation};
+use nssd_ftl::{FailStopMode, Ftl, FtlConfig, FtlError, Lpn, Relocation};
 use nssd_host::{HostFrontend, HostPipes, IoOp, IoRequest, SchedulerKind, TenantConfig};
 use nssd_oracle::Oracle;
 use nssd_sim::DetRng;
@@ -23,11 +24,12 @@ use nssd_sim::{EventQueue, Histogram, Reservation, Resource, SimTime};
 
 use crate::{
     ChannelUtilSummary, EccMode, EnergySummary, EngineSummary, GcSummary, LatencySummary,
-    SimReport, SsdConfig, TenantSummary, Traffic,
+    RedundancySummary, SimReport, SsdConfig, TenantSummary, Traffic,
 };
 
-pub(crate) use fabric::{FabricBackend, FabricCtx, GcEcc};
+pub(crate) use fabric::{FabricBackend, FabricCtx, GcEcc, SurvivorRead};
 pub(crate) use gcrun::GcRuntime;
+pub(crate) use rebuild::RebuildRuntime;
 
 /// Events driving the simulation.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +59,12 @@ enum Event {
     GcEraseDone(usize),
     /// The configured whole-chip failure fires.
     ChipFail,
+    /// Advance the background rebuild (pacing / start checks).
+    RebuildPump,
+    /// Rebuild copy: reconstructed data arrived at the destination chip.
+    RebuildXferDone(usize),
+    /// Rebuild copy: destination program finished.
+    RebuildProgDone(usize),
 }
 
 /// One functional GC action captured during an instant (untimed)
@@ -76,6 +84,12 @@ struct ReqState {
     tenant: u16,
     pages_total: u32,
     pages_done: u32,
+    /// Whether any page of this request failed host-visibly (link-retry
+    /// exhaustion, or a strict-fail-stop read of a lost page).
+    failed: bool,
+    /// Whether any page of this request was served by parity
+    /// reconstruction (degraded-window latency accounting).
+    degraded: bool,
 }
 
 /// A write request whose data is in flight to DRAM (or stalled on free
@@ -97,6 +111,11 @@ struct TransState {
     halves_left: u8,
     /// NoSSD only: the controller chosen (greedily) for this transaction.
     mesh_ctrl: u32,
+    /// A CRC-framed leg of this page exhausted its retransmission budget.
+    failed: bool,
+    /// The mapped page sits on the fail-stopped chip: serve it by parity
+    /// reconstruction from the surviving stripe members.
+    degraded: bool,
 }
 
 /// How a workload drives the simulator.
@@ -211,6 +230,17 @@ pub struct SsdSim {
     pub(crate) inflight_io: usize,
     // GC.
     pub(crate) gc: GcRuntime,
+    // Background rebuild after a redundant chip failure.
+    pub(crate) rebuild: RebuildRuntime,
+    /// Per-parity-group count of data programs since the last parity
+    /// write; at `stripe_width - 1` one rotated parity program is charged.
+    /// Empty when redundancy is off.
+    parity_pending: Vec<u32>,
+    /// Per-parity-group rotation position of the next parity write.
+    parity_rot: Vec<u32>,
+    /// LPNs lost to a strict fail-stop chip failure, sorted: host reads of
+    /// these complete as host-visible I/O errors.
+    lost_pages: Vec<u64>,
     pub(crate) rng: DetRng,
     // Shadow oracle (None unless `cfg.oracle`), cross-checking every
     // functional action in lockstep.
@@ -228,6 +258,8 @@ pub struct SsdSim {
     all_lat: Histogram,
     read_lat: Histogram,
     write_lat: Histogram,
+    /// Latency of requests that included a reconstructed (degraded) page.
+    degraded_lat: Histogram,
     completed: u64,
     unmapped_reads: u64,
     host_bytes: u64,
@@ -256,6 +288,7 @@ impl SsdSim {
             op_ratio: cfg.op_ratio,
             endurance_limit: cfg.endurance_limit,
             gc: cfg.gc,
+            redundancy: cfg.redundancy,
         })
         .map_err(|e| e.to_string())?;
         // Factory bad blocks are retired before the device ever serves I/O;
@@ -306,6 +339,18 @@ impl SsdSim {
             pending_write_spans: Vec::new(),
             inflight_io: 0,
             gc: GcRuntime::new(&cfg.gc, g.ways),
+            rebuild: RebuildRuntime::new(),
+            parity_pending: if cfg.redundancy.enabled {
+                vec![0; cfg.redundancy.group_count(&g) as usize]
+            } else {
+                Vec::new()
+            },
+            parity_rot: if cfg.redundancy.enabled {
+                vec![0; cfg.redundancy.group_count(&g) as usize]
+            } else {
+                Vec::new()
+            },
+            lost_pages: Vec::new(),
             rng: DetRng::seed_from_u64(cfg.seed),
             oracle,
             oracle_synced: false,
@@ -314,6 +359,7 @@ impl SsdSim {
             all_lat: Histogram::new(),
             read_lat: Histogram::new(),
             write_lat: Histogram::new(),
+            degraded_lat: Histogram::new(),
             completed: 0,
             unmapped_reads: 0,
             host_bytes: 0,
@@ -639,25 +685,69 @@ impl SsdSim {
             Event::GcCopyProgDone(c) => self.gc_copy_prog_done(c),
             Event::GcEraseDone(v) => self.gc_erase_done(v),
             Event::ChipFail => self.on_chip_fail(),
+            Event::RebuildPump => self.rebuild_pump(),
+            Event::RebuildXferDone(c) => self.rebuild_xfer_done(c),
+            Event::RebuildProgDone(c) => self.rebuild_prog_done(c),
         }
     }
 
-    /// Handles the scheduled fail-stop chip failure: every live page on the
-    /// chip is relocated onto the survivors (or lost when no space remains)
-    /// and the device continues degraded. The rebuild itself is not
-    /// time-charged — the interesting signal is the capacity/throughput
-    /// state after the event, not the rebuild transient.
+    /// Handles the scheduled fail-stop chip failure. Three behaviours:
+    ///
+    /// * **Redundant** (parity enabled): mappings stay in place, reads of
+    ///   the dead chip are served by reconstruction, and a paced background
+    ///   rebuild re-places every degraded page. The oracle is *not*
+    ///   resynced — its content tokens must survive the failure
+    ///   byte-for-byte, which is exactly the zero-silent-loss claim.
+    /// * **Strict** (`strict_fail_stop`, no parity): honest fail-stop — the
+    ///   chip's live pages are immediately unreadable; host reads of them
+    ///   complete as host-visible I/O errors counted in `pages_lost`.
+    /// * **Legacy** (default): live pages are optimistically relocated
+    ///   through the dead chip, untimed — kept because the baseline
+    ///   goldens pin it.
     fn on_chip_fail(&mut self) {
         let spec = self
             .cfg
             .faults
             .chip_failure
             .expect("ChipFail only scheduled with a spec");
-        let out = self.ftl.fail_chip(spec.channel, spec.way);
-        self.faults
-            .note_chip_failure(out.pages_remapped, out.pages_lost);
-        // The rebuild rewrites mappings outside the observed event stream
-        // (and may legitimately drop pages): resync the shadow model.
+        if self.ftl.redundancy().enabled {
+            let out = self
+                .ftl
+                .fail_chip_mode(spec.channel, spec.way, FailStopMode::Redundant);
+            self.faults
+                .note_chip_failure(out.pages_remapped, out.pages_lost);
+            self.faults.note_pages_degraded(out.pages_degraded);
+            self.start_rebuild();
+            return;
+        }
+        if self.cfg.faults.strict_fail_stop {
+            // Record which LPNs die with the chip *before* they are
+            // unmapped, so their reads can be failed rather than served as
+            // never-written zeroes.
+            let g = self.cfg.geometry;
+            let mut lost = Vec::new();
+            for raw in 0..g.block_count() {
+                let pbn = Pbn::new(raw);
+                let a = g.block_addr(pbn);
+                if a.channel == spec.channel && a.way == spec.way {
+                    self.ftl
+                        .for_each_live_page(pbn, |lpn, _| lost.push(lpn.raw()));
+                }
+            }
+            lost.sort_unstable();
+            self.lost_pages = lost;
+            let out = self
+                .ftl
+                .fail_chip_mode(spec.channel, spec.way, FailStopMode::Strict);
+            self.faults
+                .note_chip_failure(out.pages_remapped, out.pages_lost);
+        } else {
+            let out = self.ftl.fail_chip(spec.channel, spec.way);
+            self.faults
+                .note_chip_failure(out.pages_remapped, out.pages_lost);
+        }
+        // The failure rewrote (or dropped) mappings outside the observed
+        // event stream: resync the shadow model.
         if let Some(oracle) = self.oracle.as_mut() {
             oracle.sync_from_ftl(&self.ftl);
         }
@@ -705,9 +795,57 @@ impl SsdSim {
     }
 
     /// Records that block `pbn`'s most recent program finished at `at`
-    /// (block-granularity retention tracking).
+    /// (block-granularity retention tracking), and accrues the program
+    /// toward its parity group when redundancy is on.
     pub(crate) fn note_programmed(&mut self, pbn: nssd_flash::Pbn, at: SimTime) {
         self.programmed_at[pbn.raw() as usize] = at;
+        self.charge_parity(pbn, at);
+    }
+
+    /// Accrues one data program toward its parity group; every
+    /// `stripe_width - 1` programs one rotated parity write is charged —
+    /// the fabric write-in plus the plane program on the group's current
+    /// parity chip. Purely a timing/bandwidth model: parity *content* is
+    /// implicit in the capacity the FTL reserved. No-op with redundancy
+    /// off, so baseline runs are untouched.
+    fn charge_parity(&mut self, pbn: Pbn, at: SimTime) {
+        let red = self.cfg.redundancy;
+        if !red.enabled {
+            return;
+        }
+        let g = self.cfg.geometry;
+        let a = g.block_addr(pbn);
+        let group = red.group_index(&g, a.channel, a.way) as usize;
+        self.parity_pending[group] += 1;
+        if self.parity_pending[group] < red.stripe_width - 1 {
+            return;
+        }
+        self.parity_pending[group] = 0;
+        let rot = self.parity_rot[group];
+        self.parity_rot[group] = (rot + 1) % red.stripe_width;
+        let channel = red.group_base(a.channel) + rot;
+        if self.ftl.dead_chip() == Some((channel, a.way)) {
+            // The rotation landed on the dead chip: the stripe runs
+            // unprotected until rebuild completes; nothing to write.
+            return;
+        }
+        let addr = PageAddr {
+            channel,
+            way: a.way,
+            die: a.die,
+            plane: a.plane,
+            block: a.block,
+            page: 0,
+        };
+        let page = self.page_bytes();
+        let tag = Traffic::Gc.tag();
+        let plan_end = {
+            let (fabric, mut ctx) = self.fabric_parts();
+            let plan = fabric.reserve_write_in(&mut ctx, addr, page, at, tag);
+            plan.ends().fold(SimTime::ZERO, SimTime::max)
+        };
+        let chip = self.chip_index(addr);
+        self.chips[chip].reserve_program(addr.die, addr.plane, plan_end);
     }
 
     /// Merges per-tenant streams into one time-ordered arrival list (stable
@@ -798,6 +936,8 @@ impl SsdSim {
             tenant,
             pages_total: pages,
             pages_done: 0,
+            failed: false,
+            degraded: false,
         });
         self.inflight_io += 1;
         match r.op {
@@ -879,6 +1019,8 @@ impl SsdSim {
                 is_read: false,
                 halves_left: 0,
                 mesh_ctrl: 0,
+                failed: false,
+                degraded: false,
             });
             let ready = self.ftl_compute(self.now);
             self.queue.schedule(ready, Event::StartTrans(t));
@@ -942,13 +1084,19 @@ impl SsdSim {
                         is_read: true,
                         halves_left: 0,
                         mesh_ctrl: 0,
+                        failed: false,
+                        degraded: self.ftl.is_degraded_page(ppn),
                     });
                     let ready = self.ftl_compute(self.now);
                     self.queue.schedule(ready, Event::StartTrans(t));
                 }
                 None => {
                     // Never-written page: served from the controller
-                    // (all-zero data), host DMA only.
+                    // (all-zero data), host DMA only. Under strict
+                    // fail-stop an LPN that died with the chip is unmapped
+                    // too — but its read is an honest I/O error, not
+                    // zeroes.
+                    let lost = self.lost_pages.binary_search(&lpn.raw()).is_ok();
                     self.unmapped_reads += 1;
                     let out = self.host.outbound(
                         self.now,
@@ -968,6 +1116,8 @@ impl SsdSim {
                         is_read: true,
                         halves_left: 0,
                         mesh_ctrl: 0,
+                        failed: lost,
+                        degraded: false,
                     });
                     self.queue.schedule(out.end, Event::PageDone(t));
                 }
@@ -976,16 +1126,28 @@ impl SsdSim {
     }
 
     fn on_page_done(&mut self, t: usize) {
-        let req_id = self.trans[t].req;
+        let (req_id, t_failed, t_degraded) = {
+            let tr = &self.trans[t];
+            (tr.req, tr.failed, tr.degraded)
+        };
         // `PageDone` is a transaction's final event; the slot is free for
         // the next page the moment it fires.
         self.trans_free.push(t);
         let req = &mut self.requests[req_id];
+        req.failed |= t_failed;
+        req.degraded |= t_degraded;
         req.pages_done += 1;
         if req.pages_done == req.pages_total {
             let lat = self.now - req.submitted;
             let op = req.op;
             let tenant = req.tenant as usize;
+            let (failed, degraded) = (req.failed, req.degraded);
+            if degraded {
+                self.degraded_lat.record(lat);
+            }
+            if failed {
+                self.faults.note_host_io_error();
+            }
             self.all_lat.record(lat);
             match op {
                 IoOp::Read => self.read_lat.record(lat),
@@ -1022,9 +1184,12 @@ impl SsdSim {
             if self.mt.is_some() {
                 self.mt_dispatch();
             }
-            // Preemptive GC waits for I/O quiescence.
+            // Preemptive GC (and rebuild) wait for I/O quiescence.
             if self.gc.wants_pump() {
                 self.queue.schedule(self.now, Event::GcPump);
+            }
+            if self.rebuild.wants_pump() {
+                self.queue.schedule(self.now, Event::RebuildPump);
             }
         }
     }
@@ -1172,6 +1337,13 @@ impl SsdSim {
             channel_util: util,
             energy,
             reliability: self.faults.stats(),
+            redundancy: self.cfg.redundancy.enabled.then(|| RedundancySummary {
+                stripe_width: self.cfg.redundancy.stripe_width,
+                degraded: LatencySummary::from_histogram(&self.degraded_lat),
+                rebuild_pages: self.rebuild.pages_rebuilt,
+                rebuild_started: self.rebuild.started_at,
+                rebuild_completed: self.rebuild.finished_at,
+            }),
             tenants,
             oracle: oracle_summary,
             engine: EngineSummary {
@@ -1183,9 +1355,12 @@ impl SsdSim {
 }
 
 /// Reserves one packetized data transfer on `res`, charging any
-/// CRC-detected retransmission (NAK signalling, back-off, then a full
-/// re-send) on the same channel timeline. With faults off this is exactly
-/// one clean reservation and draws no randomness.
+/// CRC-detected retransmission (NAK signalling, back-off — exponentially
+/// growing when configured — then a full re-send) on the same channel
+/// timeline. With faults off this is exactly one clean reservation and
+/// draws no randomness. The `bool` reports whether the payload was
+/// eventually delivered intact; a `false` must surface as a host-visible
+/// I/O error on request paths.
 pub(crate) fn reserve_with_link_faults(
     res: &mut Resource,
     faults: &mut FaultEngine,
@@ -1193,14 +1368,14 @@ pub(crate) fn reserve_with_link_faults(
     dur: SimTime,
     bytes: u64,
     tag: usize,
-) -> Reservation {
+) -> (Reservation, bool) {
     let out = faults.crc_transfer(bytes);
     let link = faults.config().link;
     let mut r = res.reserve_tagged(at, dur, tag);
-    for _ in 1..out.attempts {
-        r = res.reserve_tagged(r.end + link.nak + link.backoff, dur, tag);
+    for attempt in 1..out.attempts {
+        r = res.reserve_tagged(r.end + link.retry_gap(attempt), dur, tag);
     }
-    r
+    (r, out.delivered)
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@
 
 use std::fmt::Write as _;
 
-use nssd_ftl::{GcPlanSpec, GcPolicy};
+use nssd_faults::ChipFailureSpec;
+use nssd_ftl::{GcPlanSpec, GcPolicy, RedundancyConfig};
+use nssd_sim::SimTime;
 use nssd_workloads::{PaperWorkload, TenantMix};
 
 use crate::{
@@ -64,6 +66,10 @@ pub struct GoldenCase {
     /// When set, overrides `gc_policy` with an explicit composed GC plan
     /// (the plan's slug replaces the policy slug in the file name).
     pub plan: Option<GcPlanSpec>,
+    /// When set, enables parity redundancy of this stripe width *and*
+    /// schedules a fail-stop failure of chip (0, 0) mid-run, pinning the
+    /// degraded-read reconstruction path and the fabric-routed rebuild.
+    pub redundancy: Option<u32>,
 }
 
 impl GoldenCase {
@@ -103,7 +109,11 @@ impl GoldenCase {
                 })
                 .collect(),
         };
-        format!("{arch}_{policy}_{workload}_s{}.json", self.seed)
+        let red = match self.redundancy {
+            Some(w) => format!("_red{w}"),
+            None => String::new(),
+        };
+        format!("{arch}_{policy}_{workload}{red}_s{}.json", self.seed)
     }
 
     /// The configuration this case runs under: the tiny geometry with the
@@ -115,6 +125,17 @@ impl GoldenCase {
         cfg.gc.victims_per_trigger = 2;
         cfg.seed = self.seed;
         cfg.oracle = true;
+        if let Some(width) = self.redundancy {
+            cfg.redundancy = RedundancyConfig::with_stripe(width);
+            // Roughly a third of the way through the pinned traces: enough
+            // writes land on the victim chip first, enough reads arrive
+            // after to exercise reconstruction while the rebuild runs.
+            cfg.faults.chip_failure = Some(ChipFailureSpec {
+                channel: 0,
+                way: 0,
+                at: SimTime::from_us(900),
+            });
+        }
         cfg
     }
 
@@ -197,6 +218,7 @@ pub fn matrix() -> Vec<GoldenCase> {
                 requests: 120,
                 tenants: None,
                 plan: None,
+                redundancy: None,
             });
         }
     }
@@ -210,6 +232,7 @@ pub fn matrix() -> Vec<GoldenCase> {
                 requests: 120,
                 tenants: None,
                 plan: None,
+                redundancy: None,
             });
         }
     }
@@ -225,6 +248,7 @@ pub fn matrix() -> Vec<GoldenCase> {
             requests: 120,
             tenants: None,
             plan: Some(plan),
+            redundancy: None,
         });
     }
     // Tenant-interference sweep: the write-burst vs latency-sensitive mix
@@ -243,6 +267,23 @@ pub fn matrix() -> Vec<GoldenCase> {
             requests: 60,
             tenants: Some(TenantScenario::InterferenceWfq),
             plan: None,
+            redundancy: None,
+        });
+    }
+    // Redundancy sweep: parity stripe of 2 with a fail-stop chip failure
+    // mid-run on the conventional bus and the paper's pnSSD. Pins the
+    // degraded-read reconstruction path, the parity-write overhead, the
+    // fabric-routed rebuild, and the oracle's zero-silent-loss proof.
+    for architecture in [Architecture::BaseSsd, Architecture::PnSsd] {
+        cases.push(GoldenCase {
+            architecture,
+            gc_policy: GcPolicy::None,
+            workload: PaperWorkload::YcsbA,
+            seed: 29,
+            requests: 120,
+            tenants: None,
+            plan: None,
+            redundancy: Some(2),
         });
     }
     cases
@@ -429,6 +470,31 @@ pub fn canonical_json(r: &SimReport) -> String {
     // predate the field and must stay byte-identical.
     if !r.tenants.is_empty() {
         let _ = write!(s, "  \"tenants\": {},\n", jlist(&r.tenants, tenant));
+    }
+    // Emitted only when parity redundancy is configured: the baseline
+    // snapshots predate the subsystem and must stay byte-identical. The
+    // fault counters that only move under redundancy/failure ride along
+    // here rather than widening the pinned reliability block.
+    if let Some(red) = &r.redundancy {
+        let jtime = |t: Option<nssd_sim::SimTime>| match t {
+            Some(t) => t.as_ns().to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            s,
+            "  \"redundancy\": {{\"stripe_width\":{},\"degraded\":{},\"rebuild_pages\":{},\
+             \"rebuild_started_ns\":{},\"rebuild_completed_ns\":{},\"pages_degraded\":{},\
+             \"reconstructed_reads\":{},\"host_io_errors\":{},\"unrecovered_transfers\":{}}},\n",
+            red.stripe_width,
+            latency(&red.degraded),
+            red.rebuild_pages,
+            jtime(red.rebuild_started),
+            jtime(red.rebuild_completed),
+            r.reliability.pages_degraded,
+            r.reliability.reconstructed_reads,
+            r.reliability.host_io_errors,
+            r.reliability.unrecovered_transfers
+        );
     }
     let _ = write!(
         s,

@@ -41,8 +41,8 @@ pub use nssd_faults::{
 pub use nssd_host::{SchedulerKind, SloClass, TenantConfig};
 pub use nssd_oracle::{Oracle, OracleSummary};
 pub use report::{
-    ChannelUtilSummary, EnergySummary, EngineSummary, GcSummary, LatencySummary, SimReport,
-    TenantSummary,
+    ChannelUtilSummary, EnergySummary, EngineSummary, GcSummary, LatencySummary, RedundancySummary,
+    SimReport, TenantSummary,
 };
 pub use runner::{
     prepare_closed_loop, prepare_closed_loop_preconditioned, prepare_tenants,

@@ -258,6 +258,51 @@ impl fmt::Display for TenantSummary {
     }
 }
 
+/// Parity-redundancy rollup for a run with [`nssd_ftl::RedundancyConfig`]
+/// enabled: the degraded-window read tail and the background rebuild's
+/// extent and timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedundancySummary {
+    /// Stripe width (data + parity chips per group).
+    pub stripe_width: u32,
+    /// Latency of host requests that touched at least one reconstructed
+    /// page — the degraded-window tail the fabric routing differentiates.
+    pub degraded: LatencySummary,
+    /// Pages re-placed by the background rebuild.
+    pub rebuild_pages: u64,
+    /// When the rebuild started (the chip-failure instant); `None` if no
+    /// failure was injected.
+    pub rebuild_started: Option<SimTime>,
+    /// When the last degraded page was re-placed and the dead chip
+    /// retired; `None` while the rebuild is still running (or never ran).
+    pub rebuild_completed: Option<SimTime>,
+}
+
+impl RedundancySummary {
+    /// Wall time the device spent degraded, when the rebuild finished.
+    pub fn rebuild_time(&self) -> Option<SimTime> {
+        match (self.rebuild_started, self.rebuild_completed) {
+            (Some(s), Some(e)) => Some(e.saturating_sub(s)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RedundancySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stripe {}: degraded p99={} (n={}), rebuilt {} pages",
+            self.stripe_width, self.degraded.p99, self.degraded.count, self.rebuild_pages
+        )?;
+        match self.rebuild_time() {
+            Some(t) => write!(f, " in {t}"),
+            None if self.rebuild_started.is_some() => write!(f, " (rebuild unfinished)"),
+            None => Ok(()),
+        }
+    }
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -298,6 +343,9 @@ pub struct SimReport {
     /// Reliability counters from fault injection (all zero when faults are
     /// off).
     pub reliability: ReliabilityStats,
+    /// Parity-redundancy rollup (`None` when redundancy is off, which
+    /// keeps baseline snapshots byte-identical).
+    pub redundancy: Option<RedundancySummary>,
     /// Per-tenant rollups, in queue-index order (empty outside
     /// [`crate::Drive::MultiTenant`] runs).
     pub tenants: Vec<TenantSummary>,
@@ -357,6 +405,9 @@ impl fmt::Display for SimReport {
         if self.reliability.any_events() {
             writeln!(f, "  reliability: {}", self.reliability)?;
         }
+        if let Some(red) = &self.redundancy {
+            writeln!(f, "  redundancy: {red}")?;
+        }
         for t in &self.tenants {
             writeln!(f, "  tenant {t}")?;
         }
@@ -411,6 +462,7 @@ mod tests {
             },
             wear_tracked: false,
             reliability: ReliabilityStats::default(),
+            redundancy: None,
             tenants: Vec::new(),
             oracle: OracleSummary::default(),
             engine: EngineSummary::default(),

@@ -101,6 +101,10 @@ pub struct LinkFaultConfig {
     pub nak: SimTime,
     /// Back-off before the retransmission begins.
     pub backoff: SimTime,
+    /// Optional exponential back-off: retransmission `n` waits
+    /// `backoff × multiplier^(n-1)` instead of a constant `backoff`. Must
+    /// be strictly greater than 1.0 when set.
+    pub backoff_multiplier: Option<f64>,
 }
 
 impl Default for LinkFaultConfig {
@@ -110,6 +114,22 @@ impl Default for LinkFaultConfig {
             max_retries: 8,
             nak: SimTime::from_ns(100),
             backoff: SimTime::from_ns(200),
+            backoff_multiplier: None,
+        }
+    }
+}
+
+impl LinkFaultConfig {
+    /// The dead time between a failed attempt and retransmission `attempt`
+    /// (1-based): NAK signalling plus the (possibly exponentially growing)
+    /// back-off.
+    pub fn retry_gap(&self, attempt: u32) -> SimTime {
+        match self.backoff_multiplier {
+            Some(m) => {
+                let scaled = self.backoff.as_ns() as f64 * m.powi(attempt.saturating_sub(1) as i32);
+                self.nak + SimTime::from_ns(scaled.round() as u64)
+            }
+            None => self.nak + self.backoff,
         }
     }
 }
@@ -155,6 +175,13 @@ pub struct FaultConfig {
     pub bad_blocks: BadBlockConfig,
     /// Optional scheduled chip failure.
     pub chip_failure: Option<ChipFailureSpec>,
+    /// Honest fail-stop semantics: live pages on a failed chip become
+    /// host-visible read errors (counted lost) instead of being
+    /// optimistically relocated through the dead chip. Ignored when parity
+    /// redundancy serves them by reconstruction. Off by default to
+    /// preserve the legacy (relocating) behaviour the baseline goldens
+    /// pin.
+    pub strict_fail_stop: bool,
 }
 
 impl FaultConfig {
@@ -166,6 +193,7 @@ impl FaultConfig {
             link: LinkFaultConfig::default(),
             bad_blocks: BadBlockConfig::default(),
             chip_failure: None,
+            strict_fail_stop: false,
         }
     }
 
@@ -202,6 +230,11 @@ impl FaultConfig {
         }
         if self.link.max_retries > 64 {
             return Err("link.max_retries must be at most 64".into());
+        }
+        if let Some(m) = self.link.backoff_multiplier {
+            if !m.is_finite() || m <= 1.0 {
+                return Err("link.backoff_multiplier must be in (1.0, ..)".into());
+            }
         }
         if !(0.0..=0.05).contains(&self.bad_blocks.manufacture_rate) {
             return Err("bad_blocks.manufacture_rate must be in [0, 0.05]".into());
@@ -287,6 +320,17 @@ pub struct ReliabilityStats {
     pub raw_link_bytes: u64,
     /// Bytes of useful payload delivered over CRC-protected links.
     pub effective_link_bytes: u64,
+    /// Live pages left mapped on a dead chip under parity redundancy,
+    /// served by reconstruction until rebuild re-places them.
+    pub pages_degraded: u64,
+    /// Host reads served by parity reconstruction from surviving stripe
+    /// members.
+    pub reconstructed_reads: u64,
+    /// Pages the background rebuild re-placed onto spare capacity.
+    pub rebuild_pages: u64,
+    /// Requests completed with a host-visible I/O error (link-retry
+    /// exhaustion, or strict-fail-stop reads of lost pages).
+    pub host_io_errors: u64,
 }
 
 impl ReliabilityStats {
@@ -310,19 +354,24 @@ impl fmt::Display for ReliabilityStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "retries={} soft={} uncorrectable={} retx={} unrecovered={} silent={} \
-             bad(mfg/grown)={}/{} chip_fail={} remapped={} lost={} link_eff={:.4}",
+            "retries={} soft={} uncorrectable={} retx={} unrecovered={} io_err={} silent={} \
+             bad(mfg/grown)={}/{} chip_fail={} remapped={} lost={} degraded={} \
+             reconstructed={} rebuilt={} link_eff={:.4}",
             self.read_retries,
             self.soft_decodes,
             self.uncorrectable_reads,
             self.retransmissions,
             self.unrecovered_transfers,
+            self.host_io_errors,
             self.silent_corruptions,
             self.bad_blocks_manufacture,
             self.grown_bad_blocks,
             self.chip_failures,
             self.pages_remapped,
             self.pages_lost,
+            self.pages_degraded,
+            self.reconstructed_reads,
+            self.rebuild_pages,
             self.link_efficiency(),
         )
     }
@@ -535,6 +584,27 @@ impl FaultEngine {
         self.stats.pages_lost += pages_lost;
     }
 
+    /// Records live pages a redundant chip failure left degraded (mapped on
+    /// the dead chip, pending reconstruction).
+    pub fn note_pages_degraded(&mut self, count: u64) {
+        self.stats.pages_degraded += count;
+    }
+
+    /// Records one host read served by parity reconstruction.
+    pub fn note_reconstructed_read(&mut self) {
+        self.stats.reconstructed_reads += 1;
+    }
+
+    /// Records one page the background rebuild re-placed.
+    pub fn note_rebuild_page(&mut self) {
+        self.stats.rebuild_pages += 1;
+    }
+
+    /// Records one request completed with a host-visible I/O error.
+    pub fn note_host_io_error(&mut self) {
+        self.stats.host_io_errors += 1;
+    }
+
     /// Serializes the mutable injector state: the RNG stream position and
     /// every reliability counter. The configuration (and the `active` flag
     /// derived from it) is not written — restore targets an engine built
@@ -558,6 +628,10 @@ impl FaultEngine {
             s.pages_lost,
             s.raw_link_bytes,
             s.effective_link_bytes,
+            s.pages_degraded,
+            s.reconstructed_reads,
+            s.rebuild_pages,
+            s.host_io_errors,
         ] {
             w.put_u64(v);
         }
@@ -589,6 +663,10 @@ impl FaultEngine {
             &mut s.pages_lost,
             &mut s.raw_link_bytes,
             &mut s.effective_link_bytes,
+            &mut s.pages_degraded,
+            &mut s.reconstructed_reads,
+            &mut s.rebuild_pages,
+            &mut s.host_io_errors,
         ] {
             *field = r.take_u64()?;
         }
@@ -841,6 +919,56 @@ mod tests {
             at: SimTime::from_ms(1),
         });
         assert!(cfg.is_active());
+    }
+
+    #[test]
+    fn backoff_multiplier_validated_and_grows_gap() {
+        let mut cfg = FaultConfig::off();
+        cfg.link.backoff_multiplier = Some(2.0);
+        assert!(cfg.validate().is_ok());
+        for bad in [1.0, 0.5, -3.0, f64::NAN, f64::INFINITY] {
+            cfg.link.backoff_multiplier = Some(bad);
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                err.contains("backoff_multiplier must be in (1.0, ..)"),
+                "{err}"
+            );
+        }
+        // Constant back-off without the multiplier...
+        let link = LinkFaultConfig::default();
+        assert_eq!(link.retry_gap(1), link.retry_gap(5));
+        assert_eq!(link.retry_gap(1), link.nak + link.backoff);
+        // ...exponential with it: 200ns, 400ns, 800ns after the NAK.
+        let link = LinkFaultConfig {
+            backoff_multiplier: Some(2.0),
+            ..Default::default()
+        };
+        assert_eq!(link.retry_gap(1), link.nak + SimTime::from_ns(200));
+        assert_eq!(link.retry_gap(2), link.nak + SimTime::from_ns(400));
+        assert_eq!(link.retry_gap(3), link.nak + SimTime::from_ns(800));
+    }
+
+    #[test]
+    fn redundancy_counters_roundtrip_checkpoint() {
+        let mut eng = FaultEngine::new(FaultConfig::off());
+        eng.note_pages_degraded(7);
+        eng.note_reconstructed_read();
+        eng.note_rebuild_page();
+        eng.note_rebuild_page();
+        eng.note_host_io_error();
+        let mut w = CkptWriter::new();
+        eng.ckpt_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = FaultEngine::new(FaultConfig::off());
+        let mut r = CkptReader::new(&bytes);
+        restored.ckpt_load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.stats(), eng.stats());
+        assert_eq!(restored.stats().pages_degraded, 7);
+        assert_eq!(restored.stats().rebuild_pages, 2);
+        let line = restored.stats().to_string();
+        assert!(line.contains("reconstructed=1"), "{line}");
+        assert!(line.contains("io_err=1"), "{line}");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use nssd_sim::{CkptError, CkptReader, CkptWriter, Rng};
 
 use crate::{
     select_victims, AllocPolicy, BlockState, BlockTable, GcConfig, Lpn, MappingTable, OutOfSpace,
-    PageAllocator, PlacementSpec, WayMask,
+    PageAllocator, PlacementSpec, RedundancyConfig, WayMask,
 };
 
 /// FTL configuration.
@@ -31,6 +31,11 @@ pub struct FtlConfig {
     pub endurance_limit: Option<u32>,
     /// Garbage-collection configuration.
     pub gc: GcConfig,
+    /// Intra-SSD parity redundancy (off by default). When enabled, the
+    /// logical capacity shrinks by `1/stripe_width` to reserve parity
+    /// space, and a chip fail-stop leaves mappings in place for degraded
+    /// reads and rebuild instead of relocating through the dead chip.
+    pub redundancy: RedundancyConfig,
 }
 
 impl FtlConfig {
@@ -42,6 +47,7 @@ impl FtlConfig {
             op_ratio: 0.125,
             endurance_limit: None,
             gc: GcConfig::evaluation_defaults(),
+            redundancy: RedundancyConfig::off(),
         }
     }
 
@@ -56,6 +62,9 @@ impl FtlConfig {
             return Err(FtlError::Config("op_ratio must be in [0, 0.9)".into()));
         }
         self.gc.validate().map_err(FtlError::Config)?;
+        self.redundancy
+            .validate(&self.geometry)
+            .map_err(FtlError::Config)?;
         // The GC reserve must sit below the trigger watermark, or writes
         // would stall before reclamation ever starts.
         let reserve = self.gc.victims_per_trigger as u64 + 1;
@@ -181,11 +190,35 @@ impl FtlStats {
 pub struct ChipFailureOutcome {
     /// Live pages successfully relocated onto surviving chips.
     pub pages_remapped: u64,
-    /// Live pages lost because no destination space remained; their LPNs
-    /// are unmapped (subsequent reads see them as never written).
+    /// Live pages lost because no destination space remained (or, under
+    /// [`FailStopMode::Strict`], because fail-stop makes them unreadable);
+    /// their LPNs are unmapped (subsequent reads see them as never
+    /// written).
     pub pages_lost: u64,
     /// Blocks of the failed chip pulled out of service.
     pub blocks_retired: u64,
+    /// Live pages left mapped on the dead chip under
+    /// [`FailStopMode::Redundant`]: readable only by parity
+    /// reconstruction until rebuild re-places them.
+    pub pages_degraded: u64,
+}
+
+/// How [`Ftl::fail_chip_mode`] treats live pages on a fail-stop chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailStopMode {
+    /// Legacy behaviour: live pages are relocated off the dead chip — an
+    /// optimistic model that pretends the dying chip could still be read.
+    /// Kept as the default because the baseline goldens pin it.
+    Relocate,
+    /// Honest fail-stop: every live page on the chip is immediately
+    /// unreadable and is unmapped, counted in
+    /// [`ChipFailureOutcome::pages_lost`].
+    Strict,
+    /// Parity-redundant fail-stop: mappings stay in place and the pages
+    /// are served by reconstruction from surviving stripe members while a
+    /// background rebuild re-places them. Requires
+    /// [`RedundancyConfig::enabled`].
+    Redundant,
 }
 
 /// The flash translation layer.
@@ -222,6 +255,9 @@ pub struct Ftl {
     /// from cold data; empty otherwise, so non-generational configs pay
     /// nothing.
     reloc_gen: Vec<u8>,
+    /// The fail-stopped chip whose live pages are still mapped
+    /// ([`FailStopMode::Redundant`]); cleared when rebuild drains it.
+    dead_chip: Option<(u32, u32)>,
     stats: FtlStats,
 }
 
@@ -234,7 +270,13 @@ impl Ftl {
     pub fn new(config: FtlConfig) -> Result<Self, FtlError> {
         config.validate()?;
         let geometry = config.geometry;
-        let logical_pages = (geometry.page_count() as f64 * (1.0 - config.op_ratio)).floor() as u64;
+        let mut logical_pages =
+            (geometry.page_count() as f64 * (1.0 - config.op_ratio)).floor() as u64;
+        if config.redundancy.enabled {
+            // One page per stripe holds parity, not user data.
+            let sw = config.redundancy.stripe_width as u64;
+            logical_pages = logical_pages * (sw - 1) / sw;
+        }
         let mapping = MappingTable::new(logical_pages, geometry.page_count());
         let blocks = BlockTable::new(&geometry);
         let user_alloc = PageAllocator::new(&geometry, config.alloc_policy);
@@ -262,6 +304,7 @@ impl Ftl {
             cold_alloc,
             write_mask: WayMask::all(geometry.ways),
             reloc_gen,
+            dead_chip: None,
             stats: FtlStats::default(),
         })
     }
@@ -399,6 +442,94 @@ impl Ftl {
         self.write_mask = WayMask::all(self.geometry.ways);
     }
 
+    /// The parity-redundancy configuration in use.
+    pub fn redundancy(&self) -> RedundancyConfig {
+        self.config.redundancy
+    }
+
+    /// The fail-stopped chip (channel, way) whose live pages are still
+    /// mapped and awaiting rebuild, if any.
+    pub fn dead_chip(&self) -> Option<(u32, u32)> {
+        self.dead_chip
+    }
+
+    /// Whether `ppn` sits on the dead chip — i.e. a read of it must be
+    /// served by parity reconstruction.
+    pub fn is_degraded_page(&self, ppn: Ppn) -> bool {
+        match self.dead_chip {
+            Some((c, w)) => {
+                let a = self.geometry.page_addr(ppn);
+                a.channel == c && a.way == w
+            }
+            None => false,
+        }
+    }
+
+    /// The live pages still mapped on the dead chip, in block/page order —
+    /// the backlog a rebuild must re-place. Empty when no chip is dead.
+    pub fn degraded_pages(&self) -> Vec<(Lpn, Ppn)> {
+        let Some((channel, way)) = self.dead_chip else {
+            return Vec::new();
+        };
+        let g = self.geometry;
+        let mut out = Vec::new();
+        for raw in 0..g.block_count() {
+            let pbn = Pbn::new(raw);
+            let a = g.block_addr(pbn);
+            if a.channel == channel && a.way == way {
+                self.for_each_live_page(pbn, |lpn, ppn| out.push((lpn, ppn)));
+            }
+        }
+        out
+    }
+
+    /// Retires a drained dead-chip block during rebuild: the block holds no
+    /// valid pages anymore and never returns to the free pool (nothing is
+    /// erased — the chip is gone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still holds valid pages.
+    pub fn retire_dead_block(&mut self, pbn: Pbn) {
+        assert_eq!(
+            self.blocks.meta(pbn).valid_count(),
+            0,
+            "retiring dead-chip block {pbn} with live pages"
+        );
+        self.blocks.force_retire(pbn);
+        self.stats.blocks_retired += 1;
+    }
+
+    /// Marks rebuild complete: the dead chip holds no live pages anymore,
+    /// every remaining block of it is retired, and degraded-read dispatch
+    /// stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no chip is dead or live pages remain on it.
+    pub fn clear_dead_chip(&mut self) {
+        let (channel, way) = self.dead_chip.expect("no dead chip to clear");
+        let g = self.geometry;
+        for raw in 0..g.block_count() {
+            let pbn = Pbn::new(raw);
+            let a = g.block_addr(pbn);
+            if a.channel != channel || a.way != way {
+                continue;
+            }
+            let meta = self.blocks.meta(pbn);
+            assert_eq!(
+                meta.valid_count(),
+                0,
+                "clearing dead chip with live pages in {pbn}"
+            );
+            if meta.state() != BlockState::Bad {
+                self.blocks.force_retire(pbn);
+                self.stats.blocks_retired += 1;
+            }
+        }
+        self.dead_chip = None;
+    }
+
     /// How many GC relocations `lpn` has survived since its last host
     /// write. Always 0 when the configured plan is not generational.
     pub fn gc_generation(&self, lpn: Lpn) -> u8 {
@@ -416,13 +547,25 @@ impl Ftl {
     /// trigger.
     pub fn select_gc_victims<R: Rng>(&mut self, mask: WayMask, rng: &mut R) -> Vec<Pbn> {
         self.note_gc_trigger();
-        select_victims(
+        let mut victims = select_victims(
             &self.blocks,
             self.config.gc.victims_per_trigger as usize,
             mask,
             self.config.gc.victim_policy,
             rng,
-        )
+        );
+        if let Some((dc, dw)) = self.dead_chip {
+            // Dead-chip blocks look like attractive victims (lots of
+            // garbage) but their array is unreadable, and erasing one would
+            // return it to the free pool on a chip that can no longer be
+            // written. The rebuild, not GC, drains and retires them.
+            let g = self.geometry;
+            victims.retain(|&pbn| {
+                let a = g.block_addr(pbn);
+                a.channel != dc || a.way != dw
+            });
+        }
+        victims
     }
 
     /// The live pages of `pbn` with their logical owners, in page order.
@@ -503,6 +646,13 @@ impl Ftl {
     ///
     /// Panics if the block still holds valid pages (a GC logic error).
     pub fn erase_block(&mut self, pbn: Pbn) -> bool {
+        if let Some((dc, dw)) = self.dead_chip {
+            let a = self.geometry.block_addr(pbn);
+            assert!(
+                a.channel != dc || a.way != dw,
+                "erasing {pbn} on the dead chip would return it to the free pool"
+            );
+        }
         let survived = self
             .blocks
             .erase_with_endurance(pbn, self.config.endurance_limit);
@@ -663,21 +813,51 @@ impl Ftl {
         self.stats.blocks_retired += 1;
     }
 
-    /// Handles a fail-stop failure of the chip at (`channel`, `way`): every
-    /// live page on the chip is relocated onto surviving chips, every chip
-    /// block is retired, and the allocators are fenced off the dead chip.
-    /// Pages that cannot be placed (the survivors are out of space) are
-    /// unmapped and counted as lost. The device continues degraded.
+    /// Handles a fail-stop failure of the chip at (`channel`, `way`) in the
+    /// legacy [`FailStopMode::Relocate`] mode: every live page on the chip
+    /// is relocated onto surviving chips, every chip block is retired, and
+    /// the allocators are fenced off the dead chip. Pages that cannot be
+    /// placed (the survivors are out of space) are unmapped and counted as
+    /// lost. The device continues degraded.
     ///
     /// # Panics
     ///
     /// Panics if the coordinates exceed the geometry.
     pub fn fail_chip(&mut self, channel: u32, way: u32) -> ChipFailureOutcome {
+        self.fail_chip_mode(channel, way, FailStopMode::Relocate)
+    }
+
+    /// [`Ftl::fail_chip`] with an explicit fail-stop semantics mode; see
+    /// [`FailStopMode`] for what happens to the chip's live pages. In every
+    /// mode the allocators are fenced off the dead chip (open frontiers
+    /// closed, free blocks retired) so no future write lands there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates exceed the geometry, if
+    /// [`FailStopMode::Redundant`] is requested without redundancy enabled,
+    /// or if a chip is already dead.
+    pub fn fail_chip_mode(
+        &mut self,
+        channel: u32,
+        way: u32,
+        mode: FailStopMode,
+    ) -> ChipFailureOutcome {
         let g = self.geometry;
         assert!(
             channel < g.channels && way < g.ways,
             "chip ({channel},{way}) outside geometry"
         );
+        assert!(
+            self.dead_chip.is_none(),
+            "a chip is already dead; the model handles one failure"
+        );
+        if mode == FailStopMode::Redundant {
+            assert!(
+                self.config.redundancy.enabled,
+                "FailStopMode::Redundant requires redundancy to be enabled"
+            );
+        }
         let on_chip = |pbn: Pbn| {
             let a = g.block_addr(pbn);
             a.channel == channel && a.way == way
@@ -701,28 +881,70 @@ impl Ftl {
                 out.blocks_retired += 1;
             }
         }
-        let mask = if g.ways > 1 {
-            WayMask::from_ways([way]).complement(g.ways)
-        } else {
-            WayMask::all(1)
-        };
-        for &pbn in &chip_pbns {
-            if self.blocks.meta(pbn).state() == BlockState::Bad {
-                continue;
-            }
-            for (lpn, src) in self.live_pages(pbn) {
-                match self.relocate(lpn, src, mask) {
-                    Ok(Some(_)) => out.pages_remapped += 1,
-                    Ok(None) => {}
-                    Err(_) => {
-                        self.mapping.unmap(lpn);
-                        self.blocks.invalidate(src);
-                        out.pages_lost += 1;
+        match mode {
+            FailStopMode::Relocate => {
+                let mask = if g.ways > 1 {
+                    WayMask::from_ways([way]).complement(g.ways)
+                } else {
+                    WayMask::all(1)
+                };
+                for &pbn in &chip_pbns {
+                    if self.blocks.meta(pbn).state() == BlockState::Bad {
+                        continue;
                     }
+                    for (lpn, src) in self.live_pages(pbn) {
+                        match self.relocate(lpn, src, mask) {
+                            Ok(Some(_)) => out.pages_remapped += 1,
+                            Ok(None) => {}
+                            Err(_) => {
+                                self.mapping.unmap(lpn);
+                                self.blocks.invalidate(src);
+                                out.pages_lost += 1;
+                            }
+                        }
+                    }
+                    self.blocks.force_retire(pbn);
+                    out.blocks_retired += 1;
                 }
             }
-            self.blocks.force_retire(pbn);
-            out.blocks_retired += 1;
+            FailStopMode::Strict => {
+                // Fail-stop means the array is unreadable: nothing can be
+                // relocated. Every live page is gone.
+                for &pbn in &chip_pbns {
+                    if self.blocks.meta(pbn).state() == BlockState::Bad {
+                        continue;
+                    }
+                    for (lpn, src) in self.live_pages(pbn) {
+                        self.mapping.unmap(lpn);
+                        self.blocks.invalidate(src);
+                        if let Some(gen) = self.reloc_gen.get_mut(lpn.raw() as usize) {
+                            *gen = 0;
+                        }
+                        out.pages_lost += 1;
+                    }
+                    self.blocks.force_retire(pbn);
+                    out.blocks_retired += 1;
+                }
+            }
+            FailStopMode::Redundant => {
+                // Mappings stay: pages on the dead chip are served by
+                // reconstruction until rebuild re-places them. Only blocks
+                // with no live data retire now; the rest retire as the
+                // rebuild drains them.
+                for &pbn in &chip_pbns {
+                    let meta = self.blocks.meta(pbn);
+                    if matches!(meta.state(), BlockState::Bad | BlockState::Free) {
+                        continue;
+                    }
+                    if meta.valid_count() == 0 {
+                        self.blocks.force_retire(pbn);
+                        out.blocks_retired += 1;
+                    } else {
+                        out.pages_degraded += meta.valid_count() as u64;
+                    }
+                }
+                self.dead_chip = Some((channel, way));
+            }
         }
         out
     }
@@ -770,6 +992,11 @@ impl Ftl {
         w.put_u64(self.stats.erases);
         w.put_u64(self.stats.blocks_retired);
         w.put_u64(self.stats.gc_triggers);
+        w.put_bool(self.dead_chip.is_some());
+        if let Some((c, wy)) = self.dead_chip {
+            w.put_u32(c);
+            w.put_u32(wy);
+        }
     }
 
     /// Restores state saved by [`Ftl::ckpt_save`], then re-runs the full
@@ -802,6 +1029,18 @@ impl Ftl {
         self.stats.erases = r.take_u64()?;
         self.stats.blocks_retired = r.take_u64()?;
         self.stats.gc_triggers = r.take_u64()?;
+        self.dead_chip = if r.take_bool()? {
+            let c = r.take_u32()?;
+            let wy = r.take_u32()?;
+            if c >= self.geometry.channels || wy >= self.geometry.ways {
+                return Err(CkptError::Invalid(format!(
+                    "dead chip ({c},{wy}) outside geometry"
+                )));
+            }
+            Some((c, wy))
+        } else {
+            None
+        };
         let problems = self.check_invariants();
         if !problems.is_empty() {
             return Err(CkptError::Invalid(format!(
@@ -1074,6 +1313,159 @@ mod tests {
         }
         assert_eq!(lost, out.pages_lost);
         assert!(ftl.check_consistency());
+    }
+
+    #[test]
+    fn fail_chip_strict_loses_every_live_page_on_chip() {
+        let mut ftl = tiny_ftl();
+        let filled = ftl.logical_pages() / 2;
+        for l in 0..filled {
+            ftl.write(Lpn::new(l)).unwrap();
+        }
+        let g = *ftl.geometry();
+        let on_dead_chip = (0..filled)
+            .filter(|&l| {
+                let a = g.page_addr(ftl.lookup(Lpn::new(l)).unwrap());
+                a.channel == 0 && a.way == 1
+            })
+            .count() as u64;
+        assert!(on_dead_chip > 0, "fill pattern must touch the chip");
+        let out = ftl.fail_chip_mode(0, 1, FailStopMode::Strict);
+        // Honest fail-stop: nothing was relocated, everything on the chip
+        // is host-visibly gone.
+        assert_eq!(out.pages_remapped, 0);
+        assert_eq!(out.pages_lost, on_dead_chip);
+        assert_eq!(out.pages_degraded, 0);
+        assert_eq!(
+            out.blocks_retired,
+            g.block_count() / (g.channels as u64 * g.ways as u64)
+        );
+        let unmapped = (0..filled)
+            .filter(|&l| ftl.lookup(Lpn::new(l)).is_none())
+            .count() as u64;
+        assert_eq!(unmapped, on_dead_chip);
+        assert!(ftl.check_consistency());
+        // The device still takes writes, and never onto the dead chip.
+        let mut rng = DetRng::seed_from_u64(17);
+        for l in 0..filled {
+            if ftl.needs_gc() {
+                ftl.instant_gc(&mut rng).unwrap();
+            }
+            let w = match ftl.write(Lpn::new(l)) {
+                Ok(w) => w,
+                Err(FtlError::OutOfSpace) => {
+                    ftl.instant_gc(&mut rng).unwrap();
+                    ftl.write(Lpn::new(l)).unwrap()
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+            let a = g.page_addr(w.ppn);
+            assert!(!(a.channel == 0 && a.way == 1));
+        }
+    }
+
+    #[test]
+    fn fail_chip_redundant_keeps_mappings_for_reconstruction() {
+        let mut cfg = FtlConfig::evaluation_defaults();
+        cfg.geometry = Geometry::tiny();
+        cfg.gc.victims_per_trigger = 2;
+        cfg.redundancy = RedundancyConfig::with_stripe(2);
+        let mut ftl = Ftl::new(cfg).unwrap();
+        // Parity reserves 1/stripe_width of the logical space.
+        let expect = (Geometry::tiny().page_count() as f64 * 0.875).floor() as u64 / 2;
+        assert_eq!(ftl.logical_pages(), expect);
+        let filled = ftl.logical_pages();
+        for l in 0..filled {
+            ftl.write(Lpn::new(l)).unwrap();
+        }
+        let g = *ftl.geometry();
+        let out = ftl.fail_chip_mode(0, 1, FailStopMode::Redundant);
+        assert_eq!(out.pages_remapped, 0);
+        assert_eq!(out.pages_lost, 0);
+        assert!(out.pages_degraded > 0);
+        assert_eq!(ftl.dead_chip(), Some((0, 1)));
+        // Every page stays mapped; the ones on the dead chip are flagged
+        // degraded and enumerate as the rebuild backlog.
+        let mut degraded = 0u64;
+        for l in 0..filled {
+            let ppn = ftl.lookup(Lpn::new(l)).expect("mapping must survive");
+            if ftl.is_degraded_page(ppn) {
+                degraded += 1;
+            }
+        }
+        assert_eq!(degraded, out.pages_degraded);
+        let backlog = ftl.degraded_pages();
+        assert_eq!(backlog.len() as u64, out.pages_degraded);
+        for &(_, ppn) in &backlog {
+            assert!(ftl.is_degraded_page(ppn));
+        }
+        // Survivor addressing finds one peer per degraded page in a
+        // width-2 stripe, on the other channel of the group.
+        let r = ftl.redundancy();
+        for &(_, ppn) in &backlog {
+            let s = r.survivors(g.page_addr(ppn));
+            assert_eq!(s.len(), 1);
+            assert_ne!(s[0].channel, 0);
+        }
+        assert!(ftl.check_consistency());
+
+        // Simulate a rebuild: re-place every backlog page, retire drained
+        // blocks, then clear the dead chip.
+        let all = WayMask::all(g.ways);
+        for (lpn, src) in backlog {
+            let rel = ftl.relocate(lpn, src, all).unwrap();
+            assert!(rel.is_some(), "backlog page must still be live");
+        }
+        ftl.clear_dead_chip();
+        assert_eq!(ftl.dead_chip(), None);
+        assert_eq!(ftl.degraded_pages().len(), 0);
+        for l in 0..filled {
+            let ppn = ftl.lookup(Lpn::new(l)).expect("page lost in rebuild");
+            let a = g.page_addr(ppn);
+            assert!(!(a.channel == 0 && a.way == 1));
+        }
+        assert!(ftl.check_consistency());
+    }
+
+    #[test]
+    fn redundant_mode_requires_redundancy_enabled() {
+        let result = std::panic::catch_unwind(|| {
+            let mut ftl = tiny_ftl();
+            ftl.fail_chip_mode(0, 0, FailStopMode::Redundant);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn dead_chip_roundtrips_through_checkpoint() {
+        let mut cfg = FtlConfig::evaluation_defaults();
+        cfg.geometry = Geometry::tiny();
+        cfg.gc.victims_per_trigger = 2;
+        cfg.redundancy = RedundancyConfig::with_stripe(2);
+        let mut ftl = Ftl::new(cfg).unwrap();
+        for l in 0..ftl.logical_pages() {
+            ftl.write(Lpn::new(l)).unwrap();
+        }
+        ftl.fail_chip_mode(1, 0, FailStopMode::Redundant);
+        let mut w = CkptWriter::new();
+        ftl.ckpt_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Ftl::new(cfg).unwrap();
+        let mut r = CkptReader::new(&bytes);
+        restored.ckpt_load(&mut r).unwrap();
+        assert_eq!(restored.dead_chip(), Some((1, 0)));
+        assert_eq!(restored.degraded_pages(), ftl.degraded_pages());
+    }
+
+    #[test]
+    fn redundancy_config_rejected_by_ftl_validate() {
+        let mut cfg = FtlConfig::evaluation_defaults();
+        cfg.geometry = Geometry::tiny();
+        cfg.redundancy = RedundancyConfig::with_stripe(4);
+        match Ftl::new(cfg) {
+            Err(FtlError::Config(msg)) => assert!(msg.contains("stripe"), "{msg}"),
+            other => panic!("expected config error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -45,12 +45,14 @@ mod ftl;
 mod gc;
 mod mapping;
 mod plan;
+mod redundancy;
 mod victim;
 
 pub use allocator::{AllocPolicy, OutOfSpace, PageAllocator, WayMask};
 pub use block::{BlockMeta, BlockState, BlockTable, PlaneAccounting, WearSummary};
 pub use ftl::{
-    ChipFailureOutcome, Ftl, FtlConfig, FtlError, FtlStats, GcStream, Relocation, WriteOutcome,
+    ChipFailureOutcome, FailStopMode, Ftl, FtlConfig, FtlError, FtlStats, GcStream, Relocation,
+    WriteOutcome,
 };
 pub use gc::{GcConfig, GcPolicy, SpatialGroups};
 pub use mapping::{Lpn, MappingTable};
@@ -60,6 +62,7 @@ pub use plan::{
     TriggerPolicy, TriggerSpec, UnconstrainedPlacement, VictimSelector, VictimSpec,
     WatermarkTrigger, WearAwareVictims, YieldToIo, DEFAULT_WEAR_WEIGHT, VALID_PAGE_WEIGHT,
 };
+pub use redundancy::RedundancyConfig;
 pub use victim::{select_victims, VictimPolicy};
 
 #[cfg(test)]
